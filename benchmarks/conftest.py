@@ -1,0 +1,94 @@
+"""Shared fixtures for the benchmark/figure-regeneration harness.
+
+Each ``benchmarks/test_fig10*.py`` module does two things:
+
+1. **benchmark** the computation the panel measures (via pytest-benchmark),
+2. **regenerate** the panel's data series and print it (run with ``-s`` to
+   see the tables inline; CSVs land in ``benchmarks/results/``).
+
+The full sweeps are session-cached so the four panels share one evaluation
+run, exactly like the paper's single simulation campaign.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.eval.experiments import (
+    EvaluationConfig,
+    run_evaluation,
+    run_scalability,
+)
+from repro.eval.figures import FigureTable, format_table, write_csv
+from repro.services.workloads import ScenarioConfig, generate_scenario
+
+#: The paper's network sizes; trials balance statistical stability of the
+#: regenerated panels against total benchmark runtime (a few minutes).
+SWEEP_CONFIG = EvaluationConfig(
+    network_sizes=(10, 20, 30, 40, 50),
+    trials=12,
+    n_services=6,
+    seed=0,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def sweep_config() -> EvaluationConfig:
+    return SWEEP_CONFIG
+
+
+@pytest.fixture(scope="session")
+def mixed_records(sweep_config):
+    """The mixed-requirement sweep shared by Fig. 10(a)/(c)/(d)."""
+    return run_evaluation(sweep_config)
+
+
+@pytest.fixture(scope="session")
+def path_records(sweep_config):
+    """The path-requirement sweep of Fig. 10(b)."""
+    return run_scalability(sweep_config)
+
+
+@pytest.fixture(scope="session")
+def bench_scenario():
+    """A representative mid-sweep scenario (size 30) for micro-benchmarks."""
+    config = SWEEP_CONFIG
+    return generate_scenario(
+        ScenarioConfig(
+            network_size=30,
+            n_services=config.n_services,
+            instances_per_service=config.instance_range(30),
+            seed=123,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def path_scenario():
+    """A size-30 path-requirement scenario (the Fig. 10(b) regime)."""
+    from repro.services.requirement import RequirementClass
+
+    config = SWEEP_CONFIG
+    return generate_scenario(
+        ScenarioConfig(
+            network_size=30,
+            n_services=config.n_services,
+            requirement_class=RequirementClass.PATH,
+            instances_per_service=config.instance_range(30),
+            seed=123,
+        )
+    )
+
+
+def emit(table: FigureTable) -> None:
+    """Print a regenerated panel and persist its CSV."""
+    print()
+    print(format_table(table))
+    path = write_csv(table, RESULTS_DIR)
+    print(f"  -> {path}")

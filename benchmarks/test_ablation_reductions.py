@@ -1,0 +1,105 @@
+"""Ablation A2: reduction strategies and the Pareto frontier.
+
+DESIGN.md calls out two solver design choices:
+
+* keeping full ``(bandwidth, latency)`` **Pareto frontiers** in the block
+  DP (exact for series-parallel requirements) versus the paper's pure
+  shortest-widest-best heuristic, and
+* the bounded **exhaustive enumeration** of irreducible general blocks
+  versus the greedy widest-first fallback.
+
+This module measures both: solution quality against the global optimum and
+the runtime cost of exactness.
+"""
+
+import pytest
+
+from repro.core.optimal import optimal_flow_graph
+from repro.core.reductions import ReductionSolver
+from repro.eval.stats import mean
+from repro.services.requirement import RequirementClass
+from repro.services.workloads import ScenarioConfig, generate_scenario
+
+SEEDS = range(10)
+
+
+def _scenarios(clazz=None):
+    return [
+        generate_scenario(
+            ScenarioConfig(
+                network_size=24,
+                n_services=7,
+                requirement_class=clazz,
+                instances_per_service=(3, 4),
+                seed=seed,
+            )
+        )
+        for seed in SEEDS
+    ]
+
+
+def _quality_ratios(solver):
+    ratios = []
+    for scenario in _scenarios():
+        optimal = optimal_flow_graph(
+            scenario.requirement,
+            scenario.overlay,
+            source_instance=scenario.source_instance,
+        )
+        graph = solver.solve(
+            scenario.requirement,
+            scenario.overlay,
+            source_instance=scenario.source_instance,
+        )
+        ratios.append(
+            graph.bottleneck_bandwidth() / optimal.bottleneck_bandwidth()
+        )
+    return ratios
+
+
+@pytest.mark.parametrize("pareto", [True, False], ids=["pareto", "heuristic"])
+def test_solver_benchmark(benchmark, pareto):
+    scenario = _scenarios()[0]
+    solver = ReductionSolver(pareto=pareto)
+    graph = benchmark(
+        solver.solve,
+        scenario.requirement,
+        scenario.overlay,
+        source_instance=scenario.source_instance,
+    )
+    assert graph.is_complete()
+
+
+def test_greedy_fallback_benchmark(benchmark):
+    """Cost of the greedy path when enumeration is forbidden."""
+    scenario = _scenarios(RequirementClass.GENERAL)[0]
+    solver = ReductionSolver(enumeration_limit=1)
+    graph = benchmark(
+        solver.solve,
+        scenario.requirement,
+        scenario.overlay,
+        source_instance=scenario.source_instance,
+    )
+    assert graph.is_complete()
+
+
+def test_pareto_vs_heuristic_quality(benchmark):
+    def sweep():
+        return {
+            "pareto": mean(_quality_ratios(ReductionSolver(pareto=True))),
+            "heuristic": mean(_quality_ratios(ReductionSolver(pareto=False))),
+            "greedy": mean(
+                _quality_ratios(ReductionSolver(enumeration_limit=1))
+            ),
+        }
+
+    ratios = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("ablation: solver variant vs bandwidth ratio to optimal")
+    for name, value in ratios.items():
+        print(f"  {name:<10} bandwidth/optimal = {value:.3f}")
+    # The Pareto DP is exact on these workloads.
+    assert ratios["pareto"] == pytest.approx(1.0)
+    # Dropping frontiers or enumeration never helps.
+    assert ratios["heuristic"] <= ratios["pareto"] + 1e-9
+    assert ratios["greedy"] <= ratios["pareto"] + 1e-9

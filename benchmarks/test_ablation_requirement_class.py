@@ -1,0 +1,105 @@
+"""Ablation A3: requirement topology class.
+
+The paper's central claim is that DAG-shaped federation pays off most when
+requirements actually split and merge.  This ablation regenerates the
+correctness and latency columns per requirement class (path / disjoint /
+split-merge / general) at a fixed network size, showing where the
+parallel-execution advantage over the serialized service path comes from.
+"""
+
+import pytest
+
+from repro.core.alternatives import ServicePathAlgorithm
+from repro.core.optimal import optimal_flow_graph
+from repro.core.sflow import SFlowAlgorithm
+from repro.eval.stats import mean
+from repro.services.requirement import RequirementClass
+from repro.services.workloads import ScenarioConfig, generate_scenario
+
+CLASSES = (
+    RequirementClass.PATH,
+    RequirementClass.DISJOINT_PATHS,
+    RequirementClass.SPLIT_MERGE,
+    RequirementClass.GENERAL,
+)
+SEEDS = range(8)
+
+
+def _scenarios(clazz):
+    return [
+        generate_scenario(
+            ScenarioConfig(
+                network_size=24,
+                n_services=7,
+                requirement_class=clazz,
+                instances_per_service=(3, 4),
+                seed=seed,
+            )
+        )
+        for seed in SEEDS
+    ]
+
+
+def _row(clazz):
+    correctness, dag_latency, chain_latency = [], [], []
+    for scenario in _scenarios(clazz):
+        optimal = optimal_flow_graph(
+            scenario.requirement,
+            scenario.overlay,
+            source_instance=scenario.source_instance,
+        )
+        graph = SFlowAlgorithm().solve(
+            scenario.requirement,
+            scenario.overlay,
+            source_instance=scenario.source_instance,
+        )
+        chain = ServicePathAlgorithm()
+        chain.solve(
+            scenario.requirement,
+            scenario.overlay,
+            source_instance=scenario.source_instance,
+        )
+        correctness.append(graph.correctness_coefficient(optimal))
+        dag_latency.append(graph.end_to_end_latency())
+        chain_latency.append(chain.last_serialized.latency)
+    return {
+        "correctness": mean(correctness),
+        "dag_latency": mean(dag_latency),
+        "chain_latency": mean(chain_latency),
+    }
+
+
+@pytest.mark.parametrize("clazz", CLASSES, ids=[c.value for c in CLASSES])
+def test_class_federation_benchmark(benchmark, clazz):
+    scenario = _scenarios(clazz)[0]
+    algorithm = SFlowAlgorithm()
+    graph = benchmark(
+        algorithm.solve,
+        scenario.requirement,
+        scenario.overlay,
+        source_instance=scenario.source_instance,
+    )
+    assert graph.is_complete()
+
+
+def test_class_table(benchmark):
+    def sweep():
+        return {clazz.value: _row(clazz) for clazz in CLASSES}
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("ablation: requirement class (size 24, 7 services)")
+    print(f"  {'class':<16}{'correctness':>12}{'dag latency':>13}{'chain latency':>15}")
+    for name, row in table.items():
+        print(
+            f"  {name:<16}{row['correctness']:>12.3f}"
+            f"{row['dag_latency']:>13.2f}{row['chain_latency']:>15.2f}"
+        )
+    # On chains, serialized delivery IS the DAG: latencies coincide.
+    path_row = table["path"]
+    assert path_row["chain_latency"] == pytest.approx(
+        path_row["dag_latency"], rel=0.2
+    )
+    # On every splitting class, parallel execution beats serialization.
+    for clazz in ("disjoint_paths", "split_merge", "general"):
+        assert table[clazz]["dag_latency"] < table[clazz]["chain_latency"]

@@ -1,0 +1,84 @@
+"""Data-plane validation of the paper's quality model (Sec. 3.2).
+
+The paper *asserts* that a flow graph's throughput equals its bottleneck
+bandwidth and that DAG execution completes along the critical path.  This
+benchmark *measures* both by streaming data units through federated flow
+graphs on the executor of :mod:`repro.services.execution`:
+
+* relative error between measured steady-state throughput and the
+  bottleneck prediction (should vanish as streams lengthen);
+* first-unit delivery vs. the flow graph's critical-path latency.
+"""
+
+import pytest
+
+from repro.core.reductions import ReductionSolver
+from repro.eval.stats import mean
+from repro.services.execution import StreamConfig, simulate_stream
+from repro.services.workloads import ScenarioConfig, generate_scenario
+
+SEEDS = range(8)
+
+
+def _graphs():
+    graphs = []
+    for seed in SEEDS:
+        scenario = generate_scenario(
+            ScenarioConfig(
+                network_size=20,
+                n_services=6,
+                instances_per_service=(2, 3),
+                seed=seed,
+            )
+        )
+        graphs.append(
+            ReductionSolver().solve(
+                scenario.requirement,
+                scenario.overlay,
+                source_instance=scenario.source_instance,
+            )
+        )
+    return graphs
+
+
+def test_stream_execution_benchmark(benchmark):
+    graph = _graphs()[0]
+    report = benchmark(simulate_stream, graph, StreamConfig(units=200))
+    assert report.units == 200
+
+
+def test_throughput_prediction_table(benchmark):
+    def sweep():
+        rows = {}
+        for units in (10, 50, 200):
+            errors = [
+                simulate_stream(g, StreamConfig(units=units)).prediction_error
+                for g in _graphs()
+            ]
+            rows[units] = mean(errors)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("bottleneck-throughput prediction error vs stream length")
+    for units, error in rows.items():
+        print(f"  units={units:<5} mean relative error={error:.4f}")
+    # Longer streams amortise the fill latency: error shrinks below 3%.
+    assert rows[200] < 0.03
+    assert rows[200] <= rows[10]
+
+
+def test_first_unit_follows_critical_path(benchmark):
+    def sweep():
+        gaps = []
+        for graph in _graphs():
+            report = simulate_stream(graph, StreamConfig(units=1))
+            # Propagation alone is the flow-graph latency; transmission adds
+            # unit_size/bandwidth per hop on the critical path.
+            assert report.first_delivery >= graph.end_to_end_latency()
+            gaps.append(report.first_delivery - graph.end_to_end_latency())
+        return mean(gaps)
+
+    gap = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\nmean transmission overhead above critical-path latency: {gap:.3f}")
+    assert gap >= 0

@@ -1,0 +1,44 @@
+"""Fig. 10(a): correctness coefficient vs network size.
+
+Paper's finding: sFlow stays at a correctness coefficient of ~0.9+ and
+dominates the controls; fixed comes second, random hovers around 0.5 and
+decays, the single-service-path system is lowest ("it can only handle the
+simplest service requirements").
+
+Benchmarked computation: one full algorithm line-up trial (all five
+algorithms incl. the global-optimal reference) on the representative
+size-30 scenario.
+"""
+
+import pytest
+
+from repro.eval.experiments import run_trial
+from repro.eval.figures import fig10a
+
+from .conftest import emit
+
+
+def test_fig10a_trial_benchmark(benchmark, bench_scenario):
+    """Time one complete correctness trial (5 algorithms, size 30)."""
+    records = benchmark(run_trial, bench_scenario)
+    assert len(records) == 5
+
+
+def test_fig10a_regenerate(benchmark, sweep_config, mixed_records):
+    """Regenerate the panel and assert the paper's ordering."""
+    table = benchmark.pedantic(
+        fig10a, args=(sweep_config,), kwargs={"records": mixed_records},
+        rounds=1, iterations=1,
+    )
+    emit(table)
+    mean = lambda xs: sum(xs) / len(xs)
+    # Sweep-wide ordering (per-size cells carry finite-trial noise).
+    assert mean(table.series["sflow"]) > mean(table.series["fixed"])
+    assert mean(table.series["sflow"]) > mean(table.series["random"])
+    assert mean(table.series["sflow"]) > mean(table.series["service_path"])
+    # Per-size, sFlow never falls meaningfully below the random control.
+    for i in range(len(table.sizes)):
+        assert table.series["sflow"][i] >= table.series["random"][i] - 0.1
+    # sFlow stays high across the whole size range.
+    assert min(table.series["sflow"]) >= 0.55
+    assert mean(table.series["sflow"]) >= 0.75

@@ -1,0 +1,54 @@
+"""Fig. 10(b): computation time vs network size (simple requirements).
+
+Paper's finding: both sFlow and the global optimal grow polynomially with
+network size; the optimal, "computed once at the sink node", sits slightly
+below sFlow, whose distributed re-computations at every service node add
+overhead.
+
+Benchmarked computations: the distributed sFlow federation and the
+centralised optimal search on the same size-30 path scenario -- the
+benchmark timings themselves reproduce the panel's ordering.
+"""
+
+import pytest
+
+from repro.core.optimal import optimal_flow_graph
+from repro.core.sflow import SFlowAlgorithm
+from repro.eval.figures import fig10b
+
+from .conftest import emit
+
+
+def test_fig10b_sflow_benchmark(benchmark, path_scenario):
+    algorithm = SFlowAlgorithm()
+    graph = benchmark(
+        algorithm.solve,
+        path_scenario.requirement,
+        path_scenario.overlay,
+        source_instance=path_scenario.source_instance,
+    )
+    assert graph.is_complete()
+
+
+def test_fig10b_optimal_benchmark(benchmark, path_scenario):
+    graph = benchmark(
+        optimal_flow_graph,
+        path_scenario.requirement,
+        path_scenario.overlay,
+        source_instance=path_scenario.source_instance,
+    )
+    assert graph.is_complete()
+
+
+def test_fig10b_regenerate(benchmark, sweep_config, path_records):
+    table = benchmark.pedantic(
+        fig10b, args=(sweep_config,), kwargs={"records": path_records},
+        rounds=1, iterations=1,
+    )
+    emit(table)
+    # Polynomial growth: the largest network costs more than the smallest.
+    assert table.series["sflow"][-1] > table.series["sflow"][0]
+    assert table.series["optimal"][-1] > table.series["optimal"][0]
+    # The centralised optimal is cheaper at every size (paper's gap).
+    for sflow_t, optimal_t in zip(table.series["sflow"], table.series["optimal"]):
+        assert optimal_t <= sflow_t

@@ -1,0 +1,51 @@
+"""Fig. 10(d): end-to-end bandwidth vs network size.
+
+Paper's finding: sFlow "consistently produces service flow graphs with
+higher end-to-end throughput, regardless of the network size" -- the mean
+bottleneck bandwidth orders optimal >= sflow > fixed > random at every
+size.
+
+Benchmarked computation: the global-optimal branch-and-bound search, the
+panel's reference line.
+"""
+
+import pytest
+
+from repro.core.alternatives import FixedAlgorithm
+from repro.core.optimal import optimal_flow_graph
+from repro.eval.figures import fig10d
+
+from .conftest import emit
+
+
+def test_fig10d_optimal_benchmark(benchmark, bench_scenario):
+    graph = benchmark(
+        optimal_flow_graph,
+        bench_scenario.requirement,
+        bench_scenario.overlay,
+        source_instance=bench_scenario.source_instance,
+    )
+    assert graph.is_complete()
+
+
+def test_fig10d_fixed_benchmark(benchmark, bench_scenario):
+    algorithm = FixedAlgorithm()
+    graph = benchmark(
+        algorithm.solve,
+        bench_scenario.requirement,
+        bench_scenario.overlay,
+        source_instance=bench_scenario.source_instance,
+    )
+    assert len(graph.assignment) == len(bench_scenario.requirement)
+
+
+def test_fig10d_regenerate(benchmark, sweep_config, mixed_records):
+    table = benchmark.pedantic(
+        fig10d, args=(sweep_config,), kwargs={"records": mixed_records},
+        rounds=1, iterations=1,
+    )
+    emit(table)
+    for i in range(len(table.sizes)):
+        assert table.series["optimal"][i] >= table.series["sflow"][i] - 1e-9
+        assert table.series["sflow"][i] >= table.series["fixed"][i] - 1e-9
+        assert table.series["sflow"][i] >= table.series["random"][i] - 1e-9

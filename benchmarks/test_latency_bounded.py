@@ -1,0 +1,109 @@
+"""QoS-constrained federation: the bandwidth/latency trade-off curve.
+
+The Pareto frontiers inside the reduction solver give the constrained
+variant -- maximise bottleneck bandwidth subject to a critical-path latency
+budget -- for free.  This benchmark sweeps the budget from tight to loose
+and prints the achievable bandwidth at each point: the trade-off curve a
+consumer negotiating QoS would see.
+"""
+
+import math
+
+import pytest
+
+from repro.core.reductions import ReductionSolver
+from repro.errors import FederationError
+from repro.eval.stats import mean
+from repro.services.workloads import ScenarioConfig, generate_scenario
+
+SEEDS = range(8)
+#: Budget as a multiple of the unconstrained solution's latency.
+BUDGET_FACTORS = (0.6, 0.8, 1.0, 1.5)
+
+
+def _scenarios():
+    return [
+        generate_scenario(
+            ScenarioConfig(
+                network_size=18,
+                n_services=6,
+                instances_per_service=(3, 4),
+                seed=seed,
+            )
+        )
+        for seed in SEEDS
+    ]
+
+
+def test_bounded_solve_benchmark(benchmark):
+    scenario = _scenarios()[0]
+    solver = ReductionSolver()
+    unbounded = solver.solve(
+        scenario.requirement,
+        scenario.overlay,
+        source_instance=scenario.source_instance,
+    )
+    bound = unbounded.end_to_end_latency() * 1.2
+    graph = benchmark(
+        solver.solve,
+        scenario.requirement,
+        scenario.overlay,
+        source_instance=scenario.source_instance,
+        latency_bound=bound,
+    )
+    assert graph.end_to_end_latency() <= bound
+
+
+def test_tradeoff_curve_table(benchmark):
+    def sweep():
+        rows = {}
+        for factor in BUDGET_FACTORS:
+            bandwidth_ratio, feasible = [], 0
+            for scenario in _scenarios():
+                solver = ReductionSolver()
+                unbounded = solver.solve(
+                    scenario.requirement,
+                    scenario.overlay,
+                    source_instance=scenario.source_instance,
+                )
+                bound = unbounded.end_to_end_latency() * factor
+                try:
+                    bounded = solver.solve(
+                        scenario.requirement,
+                        scenario.overlay,
+                        source_instance=scenario.source_instance,
+                        latency_bound=bound,
+                    )
+                except FederationError:
+                    continue
+                feasible += 1
+                assert bounded.end_to_end_latency() <= bound + 1e-9
+                bandwidth_ratio.append(
+                    bounded.bottleneck_bandwidth()
+                    / unbounded.bottleneck_bandwidth()
+                )
+            rows[factor] = (
+                feasible,
+                mean(bandwidth_ratio) if bandwidth_ratio else math.nan,
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("latency budget vs achievable bandwidth (vs unconstrained optimum)")
+    print(f"  {'budget x':<10}{'feasible':>9}{'bandwidth ratio':>17}")
+    for factor, (feasible, ratio) in rows.items():
+        shown = f"{ratio:.3f}" if not math.isnan(ratio) else "-"
+        print(f"  {factor:<10}{feasible:>9}/{len(list(SEEDS))}{shown:>15}")
+    # At or above the unconstrained latency, the bound is free: full
+    # bandwidth, always feasible.
+    assert rows[1.0] == (len(list(SEEDS)), pytest.approx(1.0))
+    assert rows[1.5] == (len(list(SEEDS)), pytest.approx(1.0))
+    # Tighter budgets can only cost bandwidth (never gain), and the curve
+    # is monotone in the budget.
+    ratios = [r for _, r in rows.values() if not math.isnan(r)]
+    factors = [f for f, (n, r) in rows.items() if not math.isnan(r)]
+    for (f1, r1), (f2, r2) in zip(
+        zip(factors, ratios), list(zip(factors, ratios))[1:]
+    ):
+        assert r1 <= r2 + 1e-9

@@ -1,0 +1,134 @@
+"""Protocol overhead: messages, bytes and convergence of the distributed run.
+
+Not a paper figure, but the paper's scalability story ("the distributed
+sFlow algorithm does not introduce significant amount of computation
+overhead") implies bounded protocol cost.  This module measures, per
+network size:
+
+* ``sfederate`` messages (exactly requirement-edges + 1 -- one commit per
+  edge plus the consumer's kick-off),
+* bytes moved (message sizes grow with the residual requirement and
+  accumulated pins/edges),
+* the bounded link-state flood that materialises the two-hop views.
+"""
+
+import pytest
+
+from repro.core.sflow import SFlowAlgorithm, SFlowConfig
+from repro.eval.stats import mean
+from repro.routing.link_state import collect_local_views
+from repro.services.workloads import ScenarioConfig, generate_scenario
+
+SIZES = (10, 30, 50)
+
+
+def _scenario(size, seed=0):
+    return generate_scenario(
+        ScenarioConfig(
+            network_size=size,
+            n_services=6,
+            instances_per_service=(max(1, size // 8), max(2, size // 6)),
+            seed=seed,
+        )
+    )
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_link_state_flood_benchmark(benchmark, size):
+    scenario = _scenario(size)
+    report = benchmark(collect_local_views, scenario.overlay, 2)
+    assert report.messages > 0
+
+
+def test_protocol_overhead_table(benchmark):
+    def sweep():
+        rows = {}
+        for size in SIZES:
+            messages, payload, convergence, ls_messages = [], [], [], []
+            for seed in range(5):
+                scenario = _scenario(size, seed)
+                algorithm = SFlowAlgorithm(SFlowConfig(use_link_state=True))
+                result = algorithm.federate(
+                    scenario.requirement,
+                    scenario.overlay,
+                    source_instance=scenario.source_instance,
+                )
+                expected = len(scenario.requirement.edges()) + 1
+                assert result.messages == expected
+                messages.append(result.messages)
+                payload.append(result.bytes)
+                convergence.append(result.convergence_time)
+                ls_messages.append(result.link_state_messages)
+            rows[size] = {
+                "sfederate_msgs": mean(messages),
+                "bytes": mean(payload),
+                "convergence": mean(convergence),
+                "link_state_msgs": mean(ls_messages),
+            }
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("protocol overhead per network size (mean over 5 scenarios)")
+    header = f"  {'size':<6}{'sfederate':>10}{'bytes':>10}{'converge':>10}{'LSA msgs':>10}"
+    print(header)
+    for size, row in rows.items():
+        print(
+            f"  {size:<6}{row['sfederate_msgs']:>10.1f}{row['bytes']:>10.1f}"
+            f"{row['convergence']:>10.2f}{row['link_state_msgs']:>10.1f}"
+        )
+    # sfederate traffic depends on the requirement, not the network size.
+    counts = [row["sfederate_msgs"] for row in rows.values()]
+    assert max(counts) - min(counts) <= 4
+    # The link-state flood grows with the overlay.
+    ls = [row["link_state_msgs"] for row in rows.values()]
+    assert ls[-1] > ls[0]
+
+
+def test_reliability_under_loss_table(benchmark):
+    """Protocol cost of message loss: retransmissions and convergence.
+
+    The reliability layer (acks + retransmission, ``SFlowConfig.loss_rate``)
+    must deliver the *same* federation at every loss rate, paying only in
+    traffic and virtual time.
+    """
+    scenario = _scenario(30)
+    baseline = SFlowAlgorithm()
+    clean_graph = baseline.solve(
+        scenario.requirement,
+        scenario.overlay,
+        source_instance=scenario.source_instance,
+    )
+
+    def sweep():
+        rows = {}
+        for loss in (0.0, 0.2, 0.4):
+            algorithm = SFlowAlgorithm(
+                SFlowConfig(loss_rate=loss, loss_seed=1, retransmit_timeout=15)
+            )
+            graph = algorithm.solve(
+                scenario.requirement,
+                scenario.overlay,
+                source_instance=scenario.source_instance,
+            )
+            assert graph.assignment == clean_graph.assignment
+            result = algorithm.last_result
+            rows[loss] = {
+                "messages": result.messages,
+                "retransmissions": result.retransmissions,
+                "convergence": result.convergence_time,
+            }
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("message loss vs protocol cost (size-30 scenario)")
+    print(f"  {'loss':<6}{'messages':>10}{'retx':>7}{'convergence':>13}")
+    for loss, row in rows.items():
+        print(
+            f"  {loss:<6}{row['messages']:>10}{row['retransmissions']:>7}"
+            f"{row['convergence']:>13.1f}"
+        )
+    assert rows[0.0]["retransmissions"] == 0
+    assert rows[0.4]["messages"] > rows[0.0]["messages"]
+    assert rows[0.4]["convergence"] >= rows[0.0]["convergence"]

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Media processing pipeline: why DAG federation beats service paths.
+
+The paper's introduction cites multimedia transcoding/streaming as the home
+turf of traditional *service path* composition.  This example builds such a
+pipeline -- capture -> transcode -> {watermark || thumbnail} -> package ->
+edge cache -- and quantifies the paper's headline claim: executing the
+watermark and thumbnail stages *in parallel* (service flow graph) beats
+serializing them (service path), at identical instance choices quality.
+
+Run:  python examples/media_pipeline.py
+"""
+
+from repro import (
+    SFlowAlgorithm,
+    ServicePathAlgorithm,
+    media_pipeline_scenario,
+    optimal_flow_graph,
+)
+
+
+def main() -> None:
+    scenario = media_pipeline_scenario()
+    requirement = scenario.requirement
+    print("=== media pipeline requirement ===")
+    for a, b in requirement.edges():
+        print(f"  {a} -> {b}")
+    print(f"requirement class: {requirement.classify().value}")
+    print(f"series-parallel  : {requirement.is_series_parallel()}")
+    print(f"\n{scenario.describe()}")
+
+    sflow = SFlowAlgorithm()
+    dag = sflow.solve(
+        requirement, scenario.overlay, source_instance=scenario.source_instance
+    )
+    chain = ServicePathAlgorithm()
+    chain.solve(
+        requirement, scenario.overlay, source_instance=scenario.source_instance
+    )
+    optimal = optimal_flow_graph(
+        requirement, scenario.overlay, source_instance=scenario.source_instance
+    )
+
+    print("\n=== DAG federation (sFlow) ===")
+    for sid in requirement.services():
+        print(f"  {sid:<11} -> {dag.instance_for(sid)}")
+    print(f"  bottleneck bandwidth: {dag.bottleneck_bandwidth():.2f}")
+    print(f"  parallel latency    : {dag.end_to_end_latency():.2f}")
+    print(f"  vs. optimal quality : "
+          f"{dag.correctness_coefficient(optimal):.2f} correctness")
+
+    print("\n=== serialized delivery (service path system) ===")
+    print(f"  serialized chain bandwidth: {chain.last_serialized.bandwidth:.2f}")
+    print(f"  serialized chain latency  : {chain.last_serialized.latency:.2f}")
+
+    speedup = chain.last_serialized.latency / dag.end_to_end_latency()
+    print(
+        f"\nparallel execution delivers the federated service "
+        f"{speedup:.2f}x faster than the serialized service path."
+    )
+
+    print("\n=== relay instances used by the flow graph ===")
+    relays = dag.relay_instances()
+    if relays:
+        for inst in sorted(relays):
+            print(f"  {inst} (bridges two required services)")
+    else:
+        print("  none -- every realised edge is a direct service link")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools but not ``wheel``, so PEP 660
+editable installs (which build a wheel) fail; this shim lets
+``pip install -e . --no-use-pep517`` fall back to the classic
+``setup.py develop`` path.  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,130 @@
+"""sFlow: resource-efficient and agile service federation in service overlay
+networks -- a full reproduction of Wang, Li & Li (IEEE ICDCS 2004).
+
+Quickstart::
+
+    from repro import (
+        ScenarioConfig, generate_scenario, SFlowAlgorithm, optimal_flow_graph,
+    )
+
+    scenario = generate_scenario(ScenarioConfig(network_size=20, seed=1))
+    sflow = SFlowAlgorithm()
+    graph = sflow.solve(
+        scenario.requirement,
+        scenario.overlay,
+        source_instance=scenario.source_instance,
+    )
+    print(graph.bottleneck_bandwidth(), graph.end_to_end_latency())
+
+See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for
+the paper-vs-measured record of every reproduced figure.
+"""
+
+from repro.errors import (
+    FederationError,
+    RequirementError,
+    SFlowError,
+    SimulationError,
+)
+from repro.network.metrics import IDEAL, UNREACHABLE, LinkMetrics, PathQuality
+from repro.network.overlay import OverlayGraph, ServiceInstance, ServiceLink
+from repro.network.underlay import Underlay, UnderlayConfig, UnderlayLink
+from repro.services.catalog import ServiceCatalog, ServiceType
+from repro.services.requirement import RequirementClass, ServiceRequirement
+from repro.services.abstract_graph import AbstractGraph
+from repro.services.flowgraph import FlowEdge, ServiceFlowGraph
+from repro.services.workloads import (
+    Scenario,
+    ScenarioConfig,
+    generate_scenario,
+    media_pipeline_scenario,
+    random_requirement,
+    travel_agency_scenario,
+)
+from repro.core.baseline import BaselineAlgorithm, solve_path_requirement
+from repro.core.reductions import ReductionSolver, decompose
+from repro.core.optimal import GlobalOptimalAlgorithm, optimal_flow_graph
+from repro.core.alternatives import (
+    FixedAlgorithm,
+    RandomAlgorithm,
+    ServicePathAlgorithm,
+)
+from repro.core.sflow import SFlowAlgorithm, SFlowConfig, SFlowResult
+from repro.core.repair import RepairReport, diagnose, repair_flow_graph
+from repro.core.monitor import MonitorConfig, MonitorReport, MonitoredFederation
+from repro.core.multicast import ServiceTreeAlgorithm
+from repro.core.types import FederationAlgorithm, FederationResult, timed_solve
+from repro.network.failures import (
+    FailureInjector,
+    FailurePlan,
+    degrade_links,
+    fail_instances,
+    fail_links,
+)
+from repro.services.execution import StreamConfig, StreamReport, simulate_stream
+from repro.services.serialization import load_json, save_json
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbstractGraph",
+    "BaselineAlgorithm",
+    "FailureInjector",
+    "FailurePlan",
+    "MonitorConfig",
+    "MonitorReport",
+    "MonitoredFederation",
+    "ServiceTreeAlgorithm",
+    "RepairReport",
+    "StreamConfig",
+    "StreamReport",
+    "degrade_links",
+    "diagnose",
+    "fail_instances",
+    "fail_links",
+    "load_json",
+    "repair_flow_graph",
+    "save_json",
+    "simulate_stream",
+    "FederationAlgorithm",
+    "FederationError",
+    "FederationResult",
+    "FixedAlgorithm",
+    "FlowEdge",
+    "GlobalOptimalAlgorithm",
+    "IDEAL",
+    "LinkMetrics",
+    "OverlayGraph",
+    "PathQuality",
+    "RandomAlgorithm",
+    "ReductionSolver",
+    "RequirementClass",
+    "RequirementError",
+    "SFlowAlgorithm",
+    "SFlowConfig",
+    "SFlowError",
+    "SFlowResult",
+    "Scenario",
+    "ScenarioConfig",
+    "ServiceCatalog",
+    "ServiceFlowGraph",
+    "ServiceInstance",
+    "ServiceLink",
+    "ServicePathAlgorithm",
+    "ServiceRequirement",
+    "ServiceType",
+    "SimulationError",
+    "UNREACHABLE",
+    "Underlay",
+    "UnderlayConfig",
+    "UnderlayLink",
+    "decompose",
+    "generate_scenario",
+    "media_pipeline_scenario",
+    "optimal_flow_graph",
+    "random_requirement",
+    "solve_path_requirement",
+    "timed_solve",
+    "travel_agency_scenario",
+    "__version__",
+]

@@ -1,0 +1,243 @@
+"""Runtime QoS monitoring of an established federation.
+
+Closes the agility loop: a federation is only as good as the overlay under
+it *right now*.  :class:`MonitoredFederation` keeps a service flow graph
+under observation on the simulator:
+
+* a **probe process** periodically re-prices every realised edge against
+  the current overlay (a probe is what a real deployment would measure on
+  the wire);
+* when the observed bottleneck bandwidth falls below
+  ``bandwidth_threshold`` x the value at federation time -- or an edge
+  breaks outright (instance gone, no route) -- the monitor invokes the
+  incremental repair of :mod:`repro.core.repair` against the current
+  overlay and re-baselines;
+* the run produces a :class:`MonitorReport` with the full quality timeline
+  and every violation/repair event, which tests and examples assert on.
+
+Overlay dynamics are injected by the experimenter through
+:meth:`MonitoredFederation.schedule_mutation` -- any function from overlay
+to overlay (the combinators in :mod:`repro.network.failures` compose
+directly).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.reductions import ReductionSolver
+from repro.core.repair import repair_flow_graph
+from repro.errors import FederationError
+from repro.network.overlay import OverlayGraph, ServiceInstance
+from repro.routing.wang_crowcroft import shortest_widest_tree
+from repro.services.flowgraph import ServiceFlowGraph
+from repro.services.requirement import ServiceRequirement
+from repro.sim.engine import Environment
+
+OverlayMutation = Callable[[OverlayGraph], OverlayGraph]
+
+
+@dataclass
+class MonitorConfig:
+    """Probe cadence and repair policy.
+
+    Attributes:
+        probe_interval: virtual time between QoS probes.
+        bandwidth_threshold: repair triggers when the observed bottleneck
+            drops below this fraction of the post-(re)federation baseline.
+        max_repairs: hard cap on repairs per run (guards runaway churn).
+    """
+
+    probe_interval: float = 5.0
+    bandwidth_threshold: float = 0.7
+    max_repairs: int = 10
+
+    def __post_init__(self) -> None:
+        if self.probe_interval <= 0:
+            raise ValueError("probe_interval must be > 0")
+        if not (0 < self.bandwidth_threshold <= 1):
+            raise ValueError("bandwidth_threshold must be in (0, 1]")
+        if self.max_repairs < 0:
+            raise ValueError("max_repairs must be >= 0")
+
+
+@dataclass(frozen=True)
+class MonitorEvent:
+    """One entry of the monitoring log."""
+
+    time: float
+    kind: str  # "probe" | "violation" | "repair" | "repair_failed" | "mutation"
+    bottleneck: float
+    detail: str = ""
+
+
+@dataclass
+class MonitorReport:
+    """Outcome of a monitored run."""
+
+    events: List[MonitorEvent]
+    final_graph: ServiceFlowGraph
+    repairs: int
+
+    @property
+    def timeline(self) -> List[Tuple[float, float]]:
+        """(time, observed bottleneck bandwidth) per probe."""
+        return [
+            (e.time, e.bottleneck) for e in self.events if e.kind == "probe"
+        ]
+
+    def events_of(self, kind: str) -> List[MonitorEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+
+class MonitoredFederation:
+    """A flow graph kept healthy against a mutating overlay."""
+
+    def __init__(
+        self,
+        requirement: ServiceRequirement,
+        overlay: OverlayGraph,
+        *,
+        source_instance: Optional[ServiceInstance] = None,
+        config: Optional[MonitorConfig] = None,
+        solver: Optional[ReductionSolver] = None,
+    ) -> None:
+        self.requirement = requirement
+        self.config = config or MonitorConfig()
+        self.solver = solver or ReductionSolver()
+        self.env = Environment()
+        self._overlay = overlay
+        self._events: List[MonitorEvent] = []
+        self._repairs = 0
+        self.graph = self.solver.solve(
+            requirement, overlay, source_instance=source_instance
+        )
+        self._baseline = self.graph.bottleneck_bandwidth()
+        self._source = self.graph.instance_for(requirement.source)
+
+    # -- dynamics -------------------------------------------------------------
+
+    @property
+    def overlay(self) -> OverlayGraph:
+        """The overlay as the monitor currently sees it."""
+        return self._overlay
+
+    def schedule_mutation(
+        self, time: float, mutation: OverlayMutation, label: str = ""
+    ) -> None:
+        """Apply ``mutation`` to the live overlay at virtual ``time``."""
+        if time < self.env.now:
+            raise ValueError(f"cannot schedule mutation in the past ({time})")
+
+        def fire(_event) -> None:
+            self._overlay = mutation(self._overlay)
+            self._events.append(
+                MonitorEvent(self.env.now, "mutation", self._probe(), label)
+            )
+
+        event = self.env.event()
+        event.callbacks.append(fire)
+        event.succeed(delay=time - self.env.now)
+
+    # -- probing ---------------------------------------------------------------
+
+    def _probe_edges(self) -> Dict[Tuple[str, str], float]:
+        """Observed bandwidth of every realised edge on the current overlay."""
+        observations: Dict[Tuple[str, str], float] = {}
+        trees: Dict[ServiceInstance, Dict] = {}
+        for edge in self.graph.edges():
+            src, dst = edge.src, edge.dst
+            key = edge.requirement_edge
+            if src not in self._overlay or dst not in self._overlay:
+                observations[key] = 0.0
+                continue
+            if src not in trees:
+                trees[src] = shortest_widest_tree(self._overlay.successors, src)
+            label = trees[src].get(dst)
+            if label is None or not label.quality.reachable:
+                observations[key] = 0.0
+            else:
+                observations[key] = label.quality.bandwidth
+        return observations
+
+    def _probe(self) -> float:
+        """Observed bottleneck of the current graph on the current overlay."""
+        observations = self._probe_edges()
+        if not observations:
+            return math.inf if not self.graph.edges() else 0.0
+        return min(observations.values())
+
+    def _monitor_process(self, until: float):
+        while self.env.now < until:
+            yield self.env.timeout(self.config.probe_interval)
+            observed = self._probe()
+            self._events.append(
+                MonitorEvent(self.env.now, "probe", observed)
+            )
+            if observed >= self._baseline * self.config.bandwidth_threshold:
+                continue
+            self._events.append(
+                MonitorEvent(
+                    self.env.now,
+                    "violation",
+                    observed,
+                    f"below {self.config.bandwidth_threshold:.0%} of "
+                    f"baseline {self._baseline:.2f}",
+                )
+            )
+            if self._repairs >= self.config.max_repairs:
+                continue
+            # Degraded-but-working edges will not show up as broken in the
+            # repair diagnosis; force their endpoints to be re-decided.
+            force: set = set()
+            observations = self._probe_edges()
+            for edge in self.graph.edges():
+                original = edge.quality.bandwidth
+                seen = observations.get(edge.requirement_edge, 0.0)
+                if seen < original * self.config.bandwidth_threshold:
+                    force.update(edge.requirement_edge)
+            force.discard(self.requirement.source)
+            try:
+                source = (
+                    self._source if self._source in self._overlay else None
+                )
+                report = repair_flow_graph(
+                    self.graph,
+                    self._overlay,
+                    source_instance=source,
+                    solver=self.solver,
+                    force_repair=force,
+                )
+            except FederationError as exc:
+                self._events.append(
+                    MonitorEvent(self.env.now, "repair_failed", observed, str(exc))
+                )
+                continue
+            self.graph = report.graph
+            self._source = self.graph.instance_for(self.requirement.source)
+            self._baseline = self.graph.bottleneck_bandwidth()
+            self._repairs += 1
+            self._events.append(
+                MonitorEvent(
+                    self.env.now,
+                    "repair",
+                    self._baseline,
+                    f"re-decided {sorted(report.touched)}",
+                )
+            )
+
+    # -- driving -----------------------------------------------------------------
+
+    def run(self, until: float) -> MonitorReport:
+        """Run the monitored federation until virtual time ``until``."""
+        if until <= 0:
+            raise ValueError("until must be > 0")
+        self.env.process(self._monitor_process(until))
+        self.env.run(until=until)
+        return MonitorReport(
+            events=list(self._events),
+            final_graph=self.graph,
+            repairs=self._repairs,
+        )

@@ -1,0 +1,628 @@
+"""sFlow: the fully distributed service federation algorithm (paper Sec. 4).
+
+The federation process is message-driven:
+
+1. The consumer delivers the service requirement to the **source service
+   node** in an ``sfederate`` message.
+2. Every service node that receives ``sfederate`` messages from *all* of its
+   upstream services analyses its **local overlay view** (the two-hop
+   vicinity of the paper, generalised to a configurable ``horizon``), runs
+   the baseline algorithm plus the reduction heuristics on the residual
+   requirement, commits its local decisions, and forwards new ``sfederate``
+   messages -- carrying the shrunken residual requirement, the accumulated
+   *pins* (service -> instance decisions) and the partial flow graph -- to
+   the chosen instances of its immediate downstream services.
+3. The sink service node(s) finalise the complete service flow graph.
+
+Decision responsibility follows the paper's remark that "the tasks of
+computing optimal service flow graphs are generally assumed by the
+splitting node": the instance of service ``Y`` is pinned by ``Y``'s
+**immediate dominator** in the requirement DAG.  For chain segments the
+dominator is simply the upstream service (fully local decisions); for merge
+services it is the split node where the branches diverged, which guarantees
+all branches deliver their streams to the *same* merge instance.  Because a
+dominator precedes ``Y`` on every requirement path, its pin is always
+embedded in whatever ``sfederate`` message later reaches ``Y`` -- no extra
+coordination round is needed.
+
+Local knowledge model: each node plans over its ``horizon``-hop ego view of
+the overlay (optionally materialised by the actual link-state protocol of
+:mod:`repro.routing.link_state`).  Instances *outside* the view are known
+only by directory (SID listings); the planner prices edges to them with an
+optimistic uniform prior estimated from the links the node can see.  This
+is what makes sFlow degrade gracefully -- but measurably -- as the network
+grows, reproducing the downward trend of Fig. 10(a).
+
+Everything runs on the discrete-event simulator: ``sfederate`` messages
+take the latency of the realised overlay path they travel, so the reported
+convergence time and message counts are measured, not modelled.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import FederationError, SimulationError
+from repro.network.metrics import PathQuality, UNREACHABLE
+from repro.network.overlay import OverlayGraph, ServiceInstance
+from repro.routing.link_state import collect_local_views
+from repro.routing.wang_crowcroft import shortest_widest_tree
+from repro.services.abstract_graph import AbstractGraph
+from repro.services.flowgraph import FlowEdge, ServiceFlowGraph
+from repro.services.requirement import ServiceRequirement, Sid
+from repro.core.reductions import AbstractView, ReductionSolver
+from repro.sim.channels import Envelope, MessageNetwork
+from repro.sim.engine import Environment, Event
+
+
+@dataclass(frozen=True)
+class SFederate:
+    """The ``sfederate`` message: residual requirement + decisions so far."""
+
+    residual: ServiceRequirement
+    pins: Tuple[Tuple[Sid, ServiceInstance], ...]
+    edges: Tuple[FlowEdge, ...]
+    #: Non-zero when the transport is lossy: retransmission/dedup handle.
+    msg_id: int = 0
+
+    def pin_map(self) -> Dict[Sid, ServiceInstance]:
+        return dict(self.pins)
+
+    @property
+    def size(self) -> int:
+        """Abstract wire size used for byte accounting."""
+        return 1 + len(self.residual) + len(self.pins) + 3 * len(self.edges)
+
+
+@dataclass(frozen=True)
+class Ack:
+    """Acknowledgement of an ``sfederate`` message under a lossy transport."""
+
+    msg_id: int
+
+
+@dataclass
+class SFlowConfig:
+    """Tunables of the distributed algorithm.
+
+    Attributes:
+        horizon: overlay-hop radius of each node's local view (paper: 2).
+        pareto: whether local solvers keep Pareto frontiers (exact local
+            optimisation) or single shortest-widest-best entries (the
+            paper's pure heuristic).
+        use_link_state: materialise local views by running the bounded
+            link-state protocol on the simulator instead of reading them off
+            the overlay directly (slower, but fully distributed end to end).
+        gossip_hints: let planners use the per-instance scalar quality
+            summaries published in the directory when pricing edges beyond
+            the horizon (see ``_PlanningView``); disable for the strictly
+            local ablation.
+        enumeration_limit: cap forwarded to the local
+            :class:`~repro.core.reductions.ReductionSolver` instances.
+        initial_latency: delay of the consumer's first ``sfederate`` message.
+        loss_rate: probability that the transport loses any one protocol
+            message (sfederate or ack).  Non-zero rates switch the protocol
+            into reliable mode: receivers acknowledge and deduplicate,
+            senders retransmit after ``retransmit_timeout`` up to
+            ``max_retries`` times.  The consumer's initial request is
+            assumed to use a reliable channel.
+        loss_seed: RNG seed of the loss process (runs are reproducible).
+        retransmit_timeout: virtual time before an unacknowledged
+            ``sfederate`` is resent.
+        max_retries: retransmissions before the sender gives up (which
+            fails the federation loudly).
+    """
+
+    horizon: int = 2
+    pareto: bool = True
+    use_link_state: bool = False
+    gossip_hints: bool = True
+    enumeration_limit: int = 100_000
+    initial_latency: float = 0.0
+    loss_rate: float = 0.0
+    loss_seed: int = 0
+    retransmit_timeout: float = 30.0
+    max_retries: int = 25
+
+    def __post_init__(self) -> None:
+        if self.horizon < 0:
+            raise ValueError("horizon must be >= 0")
+        if not (0.0 <= self.loss_rate < 1.0):
+            raise ValueError("loss_rate must be in [0, 1)")
+        if self.retransmit_timeout <= 0:
+            raise ValueError("retransmit_timeout must be > 0")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+
+@dataclass
+class SFlowResult:
+    """Everything a federation run produced and measured."""
+
+    flow_graph: ServiceFlowGraph
+    convergence_time: float
+    messages: int
+    bytes: int
+    local_compute_seconds: float
+    node_activations: int
+    link_state_messages: int = 0
+    per_node_compute: Dict[ServiceInstance, float] = field(default_factory=dict)
+    #: Reliability accounting (zero on a lossless transport).
+    retransmissions: int = 0
+    lost_messages: int = 0
+    acks: int = 0
+
+
+class _PlanningView(AbstractView):
+    """What one node knows when it plans: its local view plus the directory.
+
+    * Instances inside the local view are priced by shortest-widest routing
+      *within the view*.
+    * Services invisible from here fall back to the global instance
+      directory (SID listings are assumed discoverable, path qualities are
+      not).  Edges touching out-of-view instances are priced with the
+      per-instance **gossip hints**: a single scalar summary (mean incident
+      link quality) each instance publishes alongside its directory entry.
+      That is a realistic, cheap aggregate -- constant state per instance,
+      propagated like any membership record -- and it gives blind decisions
+      a fighting chance without leaking actual topology, so sFlow's
+      correctness decays gracefully with network size (Fig. 10(a)) instead
+      of collapsing to a coin flip.
+    """
+
+    def __init__(
+        self,
+        residual: ServiceRequirement,
+        local_view: OverlayGraph,
+        directory: Dict[Sid, Tuple[ServiceInstance, ...]],
+        pins: Dict[Sid, ServiceInstance],
+        hints: Optional[Dict[ServiceInstance, PathQuality]] = None,
+    ) -> None:
+        self._local = local_view
+        self._hints = hints or {}
+        self._pools: Dict[Sid, Tuple[ServiceInstance, ...]] = {}
+        for sid in residual.services():
+            pinned = pins.get(sid)
+            if pinned is not None:
+                self._pools[sid] = (pinned,)
+                continue
+            known = local_view.instances_of(sid)
+            self._pools[sid] = known if known else directory.get(sid, ())
+        self._trees: Dict[ServiceInstance, Dict] = {}
+        self._prior = self._estimate_prior(local_view)
+
+    @staticmethod
+    def _estimate_prior(view: OverlayGraph) -> PathQuality:
+        bandwidths: List[float] = []
+        latencies: List[float] = []
+        for inst in view.instances():
+            for _, metrics in view.successors(inst):
+                if metrics.reachable and metrics.bandwidth != float("inf"):
+                    bandwidths.append(metrics.bandwidth)
+                    latencies.append(metrics.latency)
+        if not bandwidths:
+            return PathQuality(1.0, 1.0)
+        return PathQuality(
+            sum(bandwidths) / len(bandwidths),
+            sum(latencies) / len(latencies),
+        )
+
+    def instances_of(self, sid: Sid) -> Tuple[ServiceInstance, ...]:
+        return self._pools.get(sid, ())
+
+    def quality(self, src: ServiceInstance, dst: ServiceInstance) -> PathQuality:
+        if src in self._local and dst in self._local:
+            if src not in self._trees:
+                self._trees[src] = shortest_widest_tree(self._local.successors, src)
+            label = self._trees[src].get(dst)
+            if label is not None and label.quality.reachable:
+                return label.quality
+            return UNREACHABLE
+        # At least one endpoint is beyond the horizon: combine whatever
+        # gossip hints exist, defaulting to the local-view prior.
+        estimates = [
+            self._hints.get(inst, self._prior) for inst in (src, dst)
+        ]
+        return PathQuality(
+            min(e.bandwidth for e in estimates),
+            sum(e.latency for e in estimates) / 2.0,
+        )
+
+
+class _SFlowNode:
+    """The per-instance protocol endpoint (a simulation process)."""
+
+    def __init__(self, me: ServiceInstance, federation: "_Federation") -> None:
+        self.me = me
+        self.fed = federation
+        self.mailbox = federation.network.register(me)
+        self.inbox: List[SFederate] = []
+        self._seen_ids: set = set()
+
+    def run(self):
+        while True:
+            envelope: Envelope = yield self.mailbox.get()
+            payload = envelope.payload
+            if isinstance(payload, Ack):
+                self.fed.acknowledge(payload.msg_id)
+                continue
+            message: SFederate = payload
+            if message.msg_id:
+                # Reliable mode: always (re-)acknowledge -- the previous ack
+                # may have been lost -- but process each message once.
+                self.fed.send_ack(self.me, envelope.src, message.msg_id)
+                if message.msg_id in self._seen_ids:
+                    continue
+                self._seen_ids.add(message.msg_id)
+            self.inbox.append(message)
+            expected = max(1, self.fed.requirement.in_degree(self.me.sid))
+            if len(self.inbox) < expected:
+                continue
+            self._activate()
+
+    def _activate(self) -> None:
+        fed = self.fed
+        my_sid = self.me.sid
+        fed.node_activations += 1
+        pins: Dict[Sid, ServiceInstance] = {}
+        edges: Dict[Tuple[Sid, Sid], FlowEdge] = {}
+        for message in self.inbox:
+            for sid, inst in message.pins:
+                existing = pins.get(sid)
+                if existing is not None and existing != inst:
+                    raise FederationError(
+                        f"inconsistent pins for {sid!r} at {self.me}: "
+                        f"{existing} vs {inst}"
+                    )
+                pins[sid] = inst
+            for edge in message.edges:
+                edges[edge.requirement_edge] = edge
+        if pins.get(my_sid) != self.me:
+            raise FederationError(
+                f"{self.me} received an sfederate pinned to {pins.get(my_sid)}"
+            )
+
+        successors = fed.requirement.successors(my_sid)
+        if not successors:
+            fed.complete_sink(my_sid, pins, edges)
+            return
+
+        started = time.perf_counter()
+        residual = fed.requirement.downstream_closure(my_sid)
+        view = fed.local_view(self.me)
+        planning = _PlanningView(residual, view, fed.directory, pins, fed.hints)
+        solver = ReductionSolver(
+            pareto=fed.config.pareto,
+            enumeration_limit=fed.config.enumeration_limit,
+        )
+        try:
+            assignment, _quality = solver.solve_assignment(
+                residual, planning, source_instance=self.me
+            )
+        except FederationError:
+            # The local view offers no feasible plan (e.g. a partitioned
+            # vicinity); fall back to blind directory choices so the
+            # federation still terminates -- with poor quality, as it should.
+            assignment = {
+                sid: pins.get(sid) or fed.directory[sid][0]
+                for sid in residual.services()
+            }
+            assignment[my_sid] = self.me
+        elapsed = time.perf_counter() - started
+        fed.record_compute(self.me, elapsed)
+
+        # Pin every service whose decision responsibility lies here.
+        new_pins = dict(pins)
+        for sid in residual.services():
+            if sid == my_sid or sid in new_pins:
+                continue
+            if fed.idom[sid] == my_sid:
+                new_pins[sid] = assignment[sid]
+
+        pin_tuple = tuple(sorted(new_pins.items()))
+        for succ_sid in successors:
+            succ_inst = new_pins.get(succ_sid)
+            if succ_inst is None:
+                raise FederationError(
+                    f"no pin for immediate downstream {succ_sid!r} at {self.me}; "
+                    f"dominator {fed.idom[succ_sid]!r} failed to decide"
+                )
+            flow_edge = fed.realize_edge(self.me, succ_inst)
+            out_edges = dict(edges)
+            out_edges[flow_edge.requirement_edge] = flow_edge
+            message = SFederate(
+                residual=fed.requirement.downstream_closure(succ_sid),
+                pins=pin_tuple,
+                edges=tuple(out_edges[k] for k in sorted(out_edges)),
+                msg_id=fed.next_msg_id(),
+            )
+            latency = (
+                flow_edge.quality.latency
+                if flow_edge.quality.reachable
+                else fed.fallback_latency
+            )
+            fed.dispatch(self.me, succ_inst, message, latency)
+
+
+class _Federation:
+    """Shared state of one distributed federation run."""
+
+    def __init__(
+        self,
+        requirement: ServiceRequirement,
+        overlay: OverlayGraph,
+        source_instance: ServiceInstance,
+        config: SFlowConfig,
+    ) -> None:
+        self.requirement = requirement
+        self.overlay = overlay
+        self.source_instance = source_instance
+        self.config = config
+        self.env = Environment()
+        self._loss_rng = random.Random(config.loss_seed)
+        loss_fn = None
+        if config.loss_rate > 0:
+            loss_fn = (
+                lambda src, dst, envelope: src != "consumer"
+                and self._loss_rng.random() < config.loss_rate
+            )
+        self.network = MessageNetwork(self.env, loss_fn=loss_fn)
+        self._msg_ids = 0
+        self._pending_acks: Dict[int, Event] = {}
+        self.retransmissions = 0
+        self.acks_sent = 0
+        self.idom = requirement.immediate_dominators()
+        self.directory: Dict[Sid, Tuple[ServiceInstance, ...]] = {
+            sid: overlay.instances_of(sid) for sid in requirement.services()
+        }
+        for sid, pool in self.directory.items():
+            if not pool:
+                raise FederationError(
+                    f"required service {sid!r} has no instance in the overlay"
+                )
+        # Ground-truth abstract graph used only to realise committed edges
+        # (established routing state), never for decision making.
+        self.abstract = AbstractGraph.build(requirement, overlay)
+        self.fallback_latency = self._mean_latency()
+        self.hints: Dict[ServiceInstance, PathQuality] = (
+            self._gossip_hints() if config.gossip_hints else {}
+        )
+        self.link_state_messages = 0
+        self._views: Dict[ServiceInstance, OverlayGraph] = {}
+        if config.use_link_state:
+            report = collect_local_views(overlay, config.horizon)
+            self._views = report.views
+            self.link_state_messages = report.messages
+        self.node_activations = 0
+        self.local_compute_seconds = 0.0
+        self.per_node_compute: Dict[ServiceInstance, float] = {}
+        self._sink_parts: Dict[Sid, Tuple[Dict, Dict]] = {}
+        self.done: Event = self.env.event()
+
+    def _mean_latency(self) -> float:
+        latencies = [
+            metrics.latency
+            for inst in self.overlay.instances()
+            for _, metrics in self.overlay.successors(inst)
+            if metrics.reachable
+        ]
+        return sum(latencies) / len(latencies) if latencies else 1.0
+
+    def _gossip_hints(self) -> Dict[ServiceInstance, PathQuality]:
+        """Per-instance scalar summaries: mean incident link quality.
+
+        Each instance publishes one ``(bandwidth, latency)`` aggregate over
+        its incident service links -- constant-size state a directory or
+        gossip layer can carry -- which planners use to price edges to
+        instances beyond their horizon."""
+        hints: Dict[ServiceInstance, PathQuality] = {}
+        for inst in self.overlay.instances():
+            bandwidths: List[float] = []
+            latencies: List[float] = []
+            for _, metrics in self.overlay.successors(inst):
+                if metrics.reachable and metrics.bandwidth != float("inf"):
+                    bandwidths.append(metrics.bandwidth)
+                    latencies.append(metrics.latency)
+            for _, metrics in self.overlay.predecessors(inst):
+                if metrics.reachable and metrics.bandwidth != float("inf"):
+                    bandwidths.append(metrics.bandwidth)
+                    latencies.append(metrics.latency)
+            if bandwidths:
+                hints[inst] = PathQuality(
+                    sum(bandwidths) / len(bandwidths),
+                    sum(latencies) / len(latencies),
+                )
+        return hints
+
+    # -- transport (reliability layer) -------------------------------------------
+
+    def next_msg_id(self) -> int:
+        """Fresh ``sfederate`` id; 0 (no reliability) on a lossless link."""
+        if self.config.loss_rate == 0:
+            return 0
+        self._msg_ids += 1
+        return self._msg_ids
+
+    def dispatch(
+        self,
+        src: ServiceInstance,
+        dst: ServiceInstance,
+        message: SFederate,
+        latency: float,
+    ) -> None:
+        """Send an ``sfederate``: fire-and-forget when the transport is
+        lossless, acknowledged-with-retransmission otherwise."""
+        if message.msg_id == 0:
+            self.network.send(src, dst, message, latency=latency, size=message.size)
+            return
+        ack_event = self.env.event()
+        self._pending_acks[message.msg_id] = ack_event
+        self.env.process(self._reliable_send(src, dst, message, latency, ack_event))
+
+    def _reliable_send(
+        self,
+        src: ServiceInstance,
+        dst: ServiceInstance,
+        message: SFederate,
+        latency: float,
+        ack_event: Event,
+    ):
+        for attempt in range(self.config.max_retries + 1):
+            self.network.send(
+                src, dst, message, latency=latency, size=message.size
+            )
+            if attempt > 0:
+                self.retransmissions += 1
+            timeout = self.env.timeout(self.config.retransmit_timeout)
+            yield self.env.any_of([ack_event, timeout])
+            if ack_event.processed:
+                return
+        raise FederationError(
+            f"sfederate {message.msg_id} from {src} to {dst} lost "
+            f"{self.config.max_retries + 1} times; giving up"
+        )
+
+    def send_ack(
+        self, src: ServiceInstance, dst, msg_id: int
+    ) -> None:
+        self.acks_sent += 1
+        self.network.send(
+            src, dst, Ack(msg_id), latency=self.fallback_latency, size=1
+        )
+
+    def acknowledge(self, msg_id: int) -> None:
+        pending = self._pending_acks.pop(msg_id, None)
+        if pending is not None and not pending.triggered:
+            pending.succeed()
+
+    # -- services used by nodes ------------------------------------------------
+
+    def local_view(self, instance: ServiceInstance) -> OverlayGraph:
+        if instance not in self._views:
+            self._views[instance] = self.overlay.ego_view(
+                instance, self.config.horizon
+            )
+        return self._views[instance]
+
+    def realize_edge(
+        self, src: ServiceInstance, dst: ServiceInstance
+    ) -> FlowEdge:
+        abstract_edge = self.abstract.edge(src, dst)
+        if abstract_edge is None:
+            return FlowEdge(src, dst, UNREACHABLE, ())
+        return FlowEdge(src, dst, abstract_edge.quality, abstract_edge.overlay_path)
+
+    def record_compute(self, instance: ServiceInstance, seconds: float) -> None:
+        self.local_compute_seconds += seconds
+        self.per_node_compute[instance] = (
+            self.per_node_compute.get(instance, 0.0) + seconds
+        )
+
+    def complete_sink(
+        self,
+        sink_sid: Sid,
+        pins: Dict[Sid, ServiceInstance],
+        edges: Dict[Tuple[Sid, Sid], FlowEdge],
+    ) -> None:
+        self._sink_parts[sink_sid] = (pins, edges)
+        if len(self._sink_parts) == len(self.requirement.sinks) and not (
+            self.done.triggered
+        ):
+            self.done.succeed()
+
+    # -- driving -----------------------------------------------------------------
+
+    def run(self) -> SFlowResult:
+        nodes = [_SFlowNode(inst, self) for inst in self.overlay.instances()]
+        for node in nodes:
+            self.env.process(node.run())
+        initial = SFederate(
+            residual=self.requirement,
+            pins=((self.requirement.source, self.source_instance),),
+            edges=(),
+        )
+        self.network.send(
+            "consumer",
+            self.source_instance,
+            initial,
+            latency=self.config.initial_latency,
+            size=initial.size,
+        )
+        self.env.run(until=self.done)
+        assignment: Dict[Sid, ServiceInstance] = {}
+        edges: Dict[Tuple[Sid, Sid], FlowEdge] = {}
+        for pins, part_edges in self._sink_parts.values():
+            for sid, inst in pins.items():
+                existing = assignment.get(sid)
+                if existing is not None and existing != inst:
+                    raise FederationError(
+                        f"sinks disagree on {sid!r}: {existing} vs {inst}"
+                    )
+                assignment[sid] = inst
+            edges.update(part_edges)
+        graph = ServiceFlowGraph(self.requirement, assignment, edges.values())
+        return SFlowResult(
+            flow_graph=graph,
+            convergence_time=self.env.now,
+            messages=self.network.stats.messages,
+            bytes=self.network.stats.bytes,
+            local_compute_seconds=self.local_compute_seconds,
+            node_activations=self.node_activations,
+            link_state_messages=self.link_state_messages,
+            per_node_compute=dict(self.per_node_compute),
+            retransmissions=self.retransmissions,
+            lost_messages=self.network.stats.lost,
+            acks=self.acks_sent,
+        )
+
+
+class SFlowAlgorithm:
+    """The distributed algorithm behind the
+    :class:`~repro.core.types.FederationAlgorithm` interface.
+
+    ``solve`` runs a complete simulated federation and returns the final
+    flow graph; the full :class:`SFlowResult` (convergence time, message
+    counts, per-node compute) of the most recent run is kept in
+    :attr:`last_result`.
+    """
+
+    name = "sflow"
+
+    def __init__(self, config: Optional[SFlowConfig] = None):
+        self.config = config or SFlowConfig()
+        self.last_result: Optional[SFlowResult] = None
+
+    def solve(
+        self,
+        requirement: ServiceRequirement,
+        overlay: OverlayGraph,
+        *,
+        source_instance: Optional[ServiceInstance] = None,
+        rng: Optional[random.Random] = None,
+    ) -> ServiceFlowGraph:
+        result = self.federate(
+            requirement, overlay, source_instance=source_instance
+        )
+        return result.flow_graph
+
+    def federate(
+        self,
+        requirement: ServiceRequirement,
+        overlay: OverlayGraph,
+        *,
+        source_instance: Optional[ServiceInstance] = None,
+    ) -> SFlowResult:
+        """Run the distributed federation and return the full result."""
+        if source_instance is None:
+            pool = overlay.instances_of(requirement.source)
+            if not pool:
+                raise FederationError(
+                    f"source service {requirement.source!r} has no instance"
+                )
+            source_instance = pool[0]
+        federation = _Federation(requirement, overlay, source_instance, self.config)
+        self.last_result = federation.run()
+        return self.last_result

@@ -1,0 +1,28 @@
+"""Exception hierarchy for the sFlow reproduction.
+
+All library-specific failures derive from :class:`SFlowError` so downstream
+users can catch one base class; the subclasses distinguish the three layers
+where things can go wrong (model validation, federation/solving, simulation).
+"""
+
+from __future__ import annotations
+
+
+class SFlowError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class RequirementError(SFlowError):
+    """A service requirement violates the paper's model (cycle, multiple
+    sources, disconnected services, unknown service references, ...)."""
+
+
+class FederationError(SFlowError):
+    """A federation algorithm cannot produce a valid service flow graph,
+    e.g. a required service has no instance in the overlay or no usable
+    path connects two chosen instances."""
+
+
+class SimulationError(SFlowError):
+    """The discrete-event simulation was driven incorrectly (process yielded
+    a non-event, time ran backwards, event triggered twice, ...)."""

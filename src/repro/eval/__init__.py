@@ -1,0 +1,37 @@
+"""Evaluation harness: reproduce every panel of the paper's Fig. 10.
+
+* :mod:`repro.eval.experiments` -- scenario sweeps over network sizes with
+  all five algorithms (sFlow, fixed, random, service path, global optimal),
+  producing tidy per-trial records.
+* :mod:`repro.eval.figures` -- regenerates each figure panel as a printed
+  table / CSV (``python -m repro.eval.figures all``).
+* :mod:`repro.eval.stats` -- tiny statistics helpers (means, confidence
+  intervals) so the harness has no plotting dependencies.
+"""
+
+from repro.eval.experiments import (
+    EvaluationConfig,
+    TrialRecord,
+    run_evaluation,
+    run_scalability,
+    run_trial,
+)
+from repro.eval.stats import mean, sample_stdev, confidence_interval_95
+from repro.eval.campaign import CampaignResult, run_campaign
+from repro.eval.churn import ChurnConfig, ChurnReport, run_churn_experiment
+
+__all__ = [
+    "CampaignResult",
+    "ChurnConfig",
+    "ChurnReport",
+    "run_campaign",
+    "run_churn_experiment",
+    "EvaluationConfig",
+    "TrialRecord",
+    "confidence_interval_95",
+    "mean",
+    "run_evaluation",
+    "run_scalability",
+    "run_trial",
+    "sample_stdev",
+]

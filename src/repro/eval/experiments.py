@@ -1,0 +1,289 @@
+"""Experiment sweeps behind every panel of the paper's Fig. 10.
+
+One *trial* = one generated scenario (underlay + overlay + requirement) on
+which every algorithm runs against the same inputs, plus the global optimal
+benchmark used for the correctness coefficient.  A sweep runs ``trials``
+trials for every network size in ``network_sizes`` and returns tidy
+:class:`TrialRecord` rows; the figure modules aggregate them.
+
+Fig. 10(b) is special: the paper restricts it to *simple* (path)
+requirements "since there is no polynomial time algorithm for finding the
+optimal service flow graph for non-simple service requirements"; use
+:func:`run_scalability` for that sweep.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.alternatives import (
+    FixedAlgorithm,
+    RandomAlgorithm,
+    ServicePathAlgorithm,
+)
+from repro.core.optimal import GlobalOptimalAlgorithm
+from repro.core.sflow import SFlowAlgorithm, SFlowConfig
+from repro.errors import FederationError
+from repro.services.flowgraph import ServiceFlowGraph
+from repro.services.requirement import RequirementClass
+from repro.services.workloads import Scenario, ScenarioConfig, generate_scenario
+
+#: The algorithm line-up of the evaluation section.
+ALGORITHMS = ("sflow", "fixed", "random", "service_path", "optimal")
+
+
+@dataclass
+class EvaluationConfig:
+    """Sweep parameters (defaults follow the paper's setup).
+
+    The paper evaluates network sizes 10..50; requirements "of any type"
+    (mixed classes) for the quality panels and path requirements for the
+    timing panel.  ``trials`` scenarios are generated per size from
+    deterministic sub-seeds of ``seed``.
+    """
+
+    network_sizes: Tuple[int, ...] = (10, 20, 30, 40, 50)
+    trials: int = 20
+    n_services: int = 6
+    requirement_class: Optional[RequirementClass] = None
+    instances_per_service: Tuple[int, int] = (1, 3)
+    scale_instances: bool = True
+    horizon: int = 2
+    pareto: bool = True
+    use_link_state: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise ValueError("need at least one trial")
+        if not self.network_sizes:
+            raise ValueError("need at least one network size")
+
+    def instance_range(self, network_size: int) -> Tuple[int, int]:
+        """Instances per service for a given network size.
+
+        In the paper every network node is a service node (Fig. 4), so the
+        overlay grows with the network.  With ``scale_instances`` (default)
+        we replicate that: instance counts are chosen so the total number of
+        service instances roughly fills the network; otherwise the static
+        ``instances_per_service`` range is used.
+        """
+        if not self.scale_instances:
+            return self.instances_per_service
+        per_service = max(1, round(network_size / self.n_services))
+        return (max(1, per_service - 1), per_service + 1)
+
+
+@dataclass
+class TrialRecord:
+    """One algorithm's outcome on one scenario."""
+
+    network_size: int
+    trial: int
+    algorithm: str
+    requirement_class: str
+    feasible: bool
+    bandwidth: float
+    latency: float
+    sequential_latency: float
+    correctness: float
+    elapsed_seconds: float
+    messages: int = 0
+    convergence_time: float = 0.0
+    assigned_services: int = 0
+    total_services: int = 0
+
+
+def run_trial(
+    scenario: Scenario,
+    *,
+    horizon: int = 2,
+    pareto: bool = True,
+    use_link_state: bool = False,
+    rng: Optional[random.Random] = None,
+) -> List[TrialRecord]:
+    """Run the full algorithm line-up on one scenario.
+
+    Returns one record per algorithm.  The optimal benchmark always runs
+    (it defines the correctness coefficient); if the scenario is infeasible
+    even for it, every record is marked infeasible.
+    """
+    rng = rng or random.Random(scenario.seed)
+    requirement = scenario.requirement
+    overlay = scenario.overlay
+    source = scenario.source_instance
+    clazz = requirement.classify().value
+
+    def record(
+        name: str,
+        graph: Optional[ServiceFlowGraph],
+        elapsed: float,
+        optimal: Optional[ServiceFlowGraph],
+        *,
+        messages: int = 0,
+        convergence: float = 0.0,
+    ) -> TrialRecord:
+        if graph is None:
+            return TrialRecord(
+                network_size=scenario.underlay.n,
+                trial=scenario.seed,
+                algorithm=name,
+                requirement_class=clazz,
+                feasible=False,
+                bandwidth=0.0,
+                latency=float("inf"),
+                sequential_latency=float("inf"),
+                correctness=0.0,
+                elapsed_seconds=elapsed,
+                messages=messages,
+                convergence_time=convergence,
+                assigned_services=0,
+                total_services=len(requirement),
+            )
+        quality = graph.quality()
+        return TrialRecord(
+            network_size=scenario.underlay.n,
+            trial=scenario.seed,
+            algorithm=name,
+            requirement_class=clazz,
+            feasible=quality.reachable and graph.is_complete(),
+            bandwidth=quality.bandwidth,
+            latency=quality.latency,
+            sequential_latency=graph.sequential_latency(),
+            correctness=(
+                graph.correctness_coefficient(optimal) if optimal is not None else 0.0
+            ),
+            elapsed_seconds=elapsed,
+            messages=messages,
+            convergence_time=convergence,
+            assigned_services=len(graph.assignment),
+            total_services=len(requirement),
+        )
+
+    records: List[TrialRecord] = []
+
+    optimal_alg = GlobalOptimalAlgorithm()
+    started = time.perf_counter()
+    try:
+        optimal = optimal_alg.solve(requirement, overlay, source_instance=source)
+    except FederationError:
+        optimal = None
+    optimal_elapsed = time.perf_counter() - started
+
+    sflow_alg = SFlowAlgorithm(
+        SFlowConfig(horizon=horizon, pareto=pareto, use_link_state=use_link_state)
+    )
+    service_path_alg = ServicePathAlgorithm()
+    for name, algorithm in (
+        ("sflow", sflow_alg),
+        ("fixed", FixedAlgorithm()),
+        ("random", RandomAlgorithm()),
+        ("service_path", service_path_alg),
+    ):
+        started = time.perf_counter()
+        try:
+            graph = algorithm.solve(
+                requirement, overlay, source_instance=source, rng=rng
+            )
+        except FederationError:
+            graph = None
+        elapsed = time.perf_counter() - started
+        messages = 0
+        convergence = 0.0
+        if name == "sflow" and sflow_alg.last_result is not None:
+            messages = sflow_alg.last_result.messages
+            convergence = sflow_alg.last_result.convergence_time
+        rec = record(
+            name,
+            graph,
+            elapsed,
+            optimal,
+            messages=messages,
+            convergence=convergence,
+        )
+        if name == "service_path" and graph is not None:
+            if service_path_alg.last_serialized is not None:
+                # The path system delivers the compound stream hop by hop;
+                # its effective latency is the serialized chain's, not the
+                # DAG critical path of the realised edges.
+                rec.sequential_latency = service_path_alg.last_serialized.latency
+            if not service_path_alg.last_native:
+                # A serialized delivery moves the bits but violates the
+                # requirement's flow relationships: the federation *failed*
+                # (paper: "it can only handle the simplest service
+                # requirements"), so it scores zero correctness.
+                rec.correctness = 0.0
+                rec.feasible = False
+        records.append(rec)
+    records.append(
+        record("optimal", optimal, optimal_elapsed, optimal)
+    )
+    return records
+
+
+def run_evaluation(config: EvaluationConfig) -> List[TrialRecord]:
+    """The main quality sweep (Fig. 10 a/c/d): mixed requirements.
+
+    Deterministic: every (size, trial) pair derives its scenario seed from
+    ``config.seed``, so re-runs produce identical tables.
+    """
+    records: List[TrialRecord] = []
+    for size in config.network_sizes:
+        for trial in range(config.trials):
+            scenario_seed = _trial_seed(config.seed, size, trial)
+            scenario = generate_scenario(
+                ScenarioConfig(
+                    network_size=size,
+                    n_services=config.n_services,
+                    requirement_class=config.requirement_class,
+                    instances_per_service=config.instance_range(size),
+                    seed=scenario_seed,
+                )
+            )
+            records.extend(
+                run_trial(
+                    scenario,
+                    horizon=config.horizon,
+                    pareto=config.pareto,
+                    use_link_state=config.use_link_state,
+                    rng=random.Random(scenario_seed ^ 0x5F5F),
+                )
+            )
+    return records
+
+
+def run_scalability(config: EvaluationConfig) -> List[TrialRecord]:
+    """The Fig. 10(b) sweep: *path requirements only* (paper's constraint)."""
+    return run_evaluation(replace(config, requirement_class=RequirementClass.PATH))
+
+
+def _trial_seed(base: int, size: int, trial: int) -> int:
+    """Stable per-(size, trial) seed derivation."""
+    return (base * 1_000_003 + size * 7919 + trial * 104_729) % (2**31)
+
+
+def aggregate(
+    records: Iterable[TrialRecord],
+    metric: str,
+    *,
+    feasible_only: bool = True,
+) -> Dict[Tuple[int, str], float]:
+    """Mean of ``metric`` grouped by ``(network_size, algorithm)``.
+
+    ``feasible_only`` drops infeasible trials (e.g. a random pick that broke
+    the flow graph) from quality metrics, so a handful of failures do not
+    turn a mean latency into infinity.
+    """
+    from repro.eval.stats import mean
+
+    groups: Dict[Tuple[int, str], List[float]] = {}
+    for rec in records:
+        if feasible_only and not rec.feasible:
+            continue
+        groups.setdefault((rec.network_size, rec.algorithm), []).append(
+            getattr(rec, metric)
+        )
+    return {key: mean(values) for key, values in groups.items()}

@@ -1,0 +1,354 @@
+"""Regenerate the paper's evaluation figures as tables (Fig. 10 a-d).
+
+Each ``fig10x`` function runs the corresponding sweep and returns a
+:class:`FigureTable` -- the x-axis (network size) and one mean-valued series
+per algorithm, exactly the rows the paper plots.  ``format_table`` renders
+aligned ASCII; ``write_csv`` saves the raw series.
+
+Command line::
+
+    python -m repro.eval.figures all --trials 10 --sizes 10 20 30 40 50
+    python -m repro.eval.figures fig10a --csv results/
+
+Expected shapes (see EXPERIMENTS.md for the recorded runs):
+
+* **fig10a** correctness: sflow >= 0.9 everywhere and above fixed, random
+  (~0.5) and service_path (lowest).
+* **fig10b** computation time: sFlow and global optimal both grow
+  polynomially, optimal slightly below sFlow (the distributed run re-solves
+  residuals at every hop).
+* **fig10c** latency: sflow lowest; service_path worst (sequential
+  execution, no parallelism).
+* **fig10d** bandwidth: optimal >= sflow > fixed > random at every size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import math
+import sys
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.eval.experiments import (
+    EvaluationConfig,
+    TrialRecord,
+    run_evaluation,
+    run_scalability,
+)
+from repro.eval.stats import finite, mean
+
+
+@dataclass
+class FigureTable:
+    """One reproduced figure: x values and named mean series."""
+
+    figure: str
+    title: str
+    xlabel: str
+    ylabel: str
+    sizes: Tuple[int, ...]
+    series: Dict[str, Tuple[float, ...]]
+
+    def row(self, size: int) -> Dict[str, float]:
+        idx = self.sizes.index(size)
+        return {name: values[idx] for name, values in self.series.items()}
+
+
+def _series(
+    records: Sequence[TrialRecord],
+    sizes: Sequence[int],
+    algorithms: Sequence[str],
+    metric: str,
+    *,
+    feasible_only: bool,
+) -> Dict[str, Tuple[float, ...]]:
+    out: Dict[str, Tuple[float, ...]] = {}
+    for alg in algorithms:
+        values: List[float] = []
+        for size in sizes:
+            bucket = [
+                getattr(r, metric)
+                for r in records
+                if r.algorithm == alg
+                and r.network_size == size
+                and (r.feasible or not feasible_only)
+            ]
+            values.append(mean(finite(bucket)))
+        out[alg] = tuple(values)
+    return out
+
+
+def fig10a(
+    config: Optional[EvaluationConfig] = None,
+    records: Optional[Sequence[TrialRecord]] = None,
+) -> FigureTable:
+    """Fig. 10(a): correctness coefficient vs network size."""
+    config = config or EvaluationConfig()
+    if records is None:
+        records = run_evaluation(config)
+    algorithms = ("sflow", "fixed", "random", "service_path")
+    return FigureTable(
+        figure="fig10a",
+        title="Correctness of the sFlow algorithm",
+        xlabel="Network Size",
+        ylabel="Correctness Coefficient",
+        sizes=config.network_sizes,
+        series=_series(
+            records, config.network_sizes, algorithms, "correctness",
+            feasible_only=False,
+        ),
+    )
+
+
+def fig10b(
+    config: Optional[EvaluationConfig] = None,
+    records: Optional[Sequence[TrialRecord]] = None,
+) -> FigureTable:
+    """Fig. 10(b): computation time vs network size (path requirements)."""
+    config = config or EvaluationConfig()
+    if records is None:
+        records = run_scalability(config)
+    algorithms = ("sflow", "optimal")
+    return FigureTable(
+        figure="fig10b",
+        title="Time vs. Network Size (simple requirements)",
+        xlabel="Network Size",
+        ylabel="Time (seconds)",
+        sizes=config.network_sizes,
+        series=_series(
+            records, config.network_sizes, algorithms, "elapsed_seconds",
+            feasible_only=False,
+        ),
+    )
+
+
+def fig10c(
+    config: Optional[EvaluationConfig] = None,
+    records: Optional[Sequence[TrialRecord]] = None,
+) -> FigureTable:
+    """Fig. 10(c): end-to-end latency vs network size.
+
+    sFlow / fixed / random deliver DAG flow graphs, so their latency is the
+    critical path; the service-path system executes sequentially, so it is
+    charged its chain latency (the paper's point about parallel processing).
+    """
+    config = config or EvaluationConfig()
+    if records is None:
+        records = run_evaluation(config)
+    sizes = config.network_sizes
+    series = _series(
+        records, sizes, ("sflow", "fixed", "random"), "latency", feasible_only=True
+    )
+    series["service_path"] = _series(
+        records, sizes, ("service_path",), "sequential_latency", feasible_only=False
+    )["service_path"]
+    return FigureTable(
+        figure="fig10c",
+        title="sFlow Latency Performance",
+        xlabel="Network Size",
+        ylabel="Latency (time units)",
+        sizes=sizes,
+        series=series,
+    )
+
+
+def fig10d(
+    config: Optional[EvaluationConfig] = None,
+    records: Optional[Sequence[TrialRecord]] = None,
+) -> FigureTable:
+    """Fig. 10(d): end-to-end bandwidth vs network size."""
+    config = config or EvaluationConfig()
+    if records is None:
+        records = run_evaluation(config)
+    algorithms = ("optimal", "sflow", "fixed", "random")
+    return FigureTable(
+        figure="fig10d",
+        title="sFlow Bandwidth Performance",
+        xlabel="Network Size",
+        ylabel="End-to-End Bandwidth (capacity units)",
+        sizes=config.network_sizes,
+        series=_series(
+            records, config.network_sizes, algorithms, "bandwidth",
+            feasible_only=True,
+        ),
+    )
+
+
+ALL_FIGURES = {
+    "fig10a": fig10a,
+    "fig10b": fig10b,
+    "fig10c": fig10c,
+    "fig10d": fig10d,
+}
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+
+def format_table(table: FigureTable) -> str:
+    """Aligned ASCII rendering of a figure table."""
+    names = list(table.series)
+    header = [table.xlabel] + names
+    rows: List[List[str]] = []
+    for i, size in enumerate(table.sizes):
+        row = [str(size)]
+        for name in names:
+            value = table.series[name][i]
+            row.append("nan" if math.isnan(value) else f"{value:.4g}")
+        rows.append(row)
+    widths = [
+        max(len(header[c]), *(len(r[c]) for r in rows)) for c in range(len(header))
+    ]
+    lines = [
+        f"{table.figure}: {table.title}  [{table.ylabel}]",
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines += ["  ".join(c.ljust(w) for c, w in zip(row, widths)) for row in rows]
+    return "\n".join(lines)
+
+
+def format_chart(
+    table: FigureTable, *, width: int = 60, height: int = 12
+) -> str:
+    """ASCII line chart of a figure table (one letter per series).
+
+    A terminal-friendly rendition of the paper's plots: the y-axis spans
+    the finite data range, each series is drawn with its first letter
+    (upper-cased on collision order), and a legend maps letters back to
+    algorithm names.  Cells where several series coincide show ``*``.
+    """
+    if width < 10 or height < 4:
+        raise ValueError("chart needs width >= 10 and height >= 4")
+    points: Dict[str, List[Tuple[int, float]]] = {}
+    finite_values: List[float] = []
+    for name, values in table.series.items():
+        series_points = [
+            (i, v) for i, v in enumerate(values) if not math.isnan(v) and math.isfinite(v)
+        ]
+        points[name] = series_points
+        finite_values.extend(v for _, v in series_points)
+    if not finite_values:
+        return f"{table.figure}: (no finite data to chart)"
+    lo, hi = min(finite_values), max(finite_values)
+    if hi == lo:
+        hi = lo + 1.0
+    n_cols = len(table.sizes)
+    grid = [[" "] * width for _ in range(height)]
+
+    def col_of(index: int) -> int:
+        if n_cols == 1:
+            return width // 2
+        return round(index * (width - 1) / (n_cols - 1))
+
+    def row_of(value: float) -> int:
+        frac = (value - lo) / (hi - lo)
+        return (height - 1) - round(frac * (height - 1))
+
+    letters: Dict[str, str] = {}
+    used: set = set()
+    for name in table.series:
+        letter = name[0]
+        letter = letter.upper() if letter in used else letter
+        while letter in used:
+            letter = chr(ord(letter) + 1)
+        used.add(letter)
+        letters[name] = letter
+    for name, series_points in points.items():
+        letter = letters[name]
+        for index, value in series_points:
+            r, c = row_of(value), col_of(index)
+            grid[r][c] = "*" if grid[r][c] not in (" ", letter) else letter
+
+    lines = [f"{table.figure}: {table.title}"]
+    for r, row in enumerate(grid):
+        label = hi if r == 0 else (lo if r == height - 1 else None)
+        prefix = f"{label:>10.3g} |" if label is not None else " " * 10 + " |"
+        lines.append(prefix + "".join(row))
+    axis = " " * 10 + "-" * (width + 1)
+    lines.append(axis)
+    tick_row = [" "] * width
+    for i, size in enumerate(table.sizes):
+        text = str(size)
+        start = min(col_of(i), width - len(text))
+        for j, ch in enumerate(text):
+            tick_row[start + j] = ch
+    lines.append(" " * 11 + "".join(tick_row) + f"   [{table.xlabel}]")
+    legend = ", ".join(f"{letters[name]}={name}" for name in table.series)
+    lines.append(f"  legend: {legend}   (* = overlap)")
+    return "\n".join(lines)
+
+
+def write_csv(table: FigureTable, directory: Path) -> Path:
+    """Write the figure's series to ``<directory>/<figure>.csv``."""
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{table.figure}.csv"
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        names = list(table.series)
+        writer.writerow(["network_size"] + names)
+        for i, size in enumerate(table.sizes):
+            writer.writerow([size] + [table.series[name][i] for name in names])
+    return path
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (also installed as ``sflow-figures``)."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate the sFlow paper's Fig. 10 panels as tables."
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(ALL_FIGURES) + ["all"],
+        help="which panel to regenerate",
+    )
+    parser.add_argument("--trials", type=int, default=20, help="trials per size")
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[10, 20, 30, 40, 50]
+    )
+    parser.add_argument("--services", type=int, default=6)
+    parser.add_argument("--horizon", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--csv", type=Path, default=None, help="also write CSVs here")
+    parser.add_argument(
+        "--chart", action="store_true", help="also render ASCII charts"
+    )
+    args = parser.parse_args(argv)
+
+    config = EvaluationConfig(
+        network_sizes=tuple(args.sizes),
+        trials=args.trials,
+        n_services=args.services,
+        horizon=args.horizon,
+        seed=args.seed,
+    )
+    wanted = sorted(ALL_FIGURES) if args.figure == "all" else [args.figure]
+    # fig10a/c/d share one mixed-requirement sweep; fig10b runs its own.
+    shared = (
+        run_evaluation(config)
+        if any(f in wanted for f in ("fig10a", "fig10c", "fig10d"))
+        else None
+    )
+    for name in wanted:
+        if name == "fig10b":
+            table = fig10b(config)
+        else:
+            table = ALL_FIGURES[name](config, records=shared)
+        print(format_table(table))
+        print()
+        if args.chart:
+            print(format_chart(table))
+            print()
+        if args.csv is not None:
+            path = write_csv(table, args.csv)
+            print(f"  wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    sys.exit(main())

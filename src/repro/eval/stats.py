@@ -1,0 +1,52 @@
+"""Small statistics helpers for the evaluation harness.
+
+Deliberately dependency-free (no numpy) so the reporting path stays simple
+and the functions are trivially property-testable.  All helpers tolerate
+empty input by returning ``nan`` rather than raising -- an experiment sweep
+with zero feasible trials should surface as a visible NaN cell, not a crash
+halfway through a table.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; ``nan`` for empty input."""
+    data = list(values)
+    if not data:
+        return math.nan
+    return sum(data) / len(data)
+
+
+def sample_stdev(values: Iterable[float]) -> float:
+    """Sample standard deviation (n-1 denominator); ``nan`` if n < 2."""
+    data = list(values)
+    if len(data) < 2:
+        return math.nan
+    mu = mean(data)
+    return math.sqrt(sum((x - mu) ** 2 for x in data) / (len(data) - 1))
+
+
+def confidence_interval_95(values: Iterable[float]) -> Tuple[float, float]:
+    """Normal-approximation 95% confidence interval for the mean.
+
+    Returns ``(low, high)``; degenerates to ``(mean, mean)`` for a single
+    sample and ``(nan, nan)`` for none.  The paper reports plain curves, so
+    this is only used for the optional verbose tables.
+    """
+    data = list(values)
+    if not data:
+        return (math.nan, math.nan)
+    mu = mean(data)
+    if len(data) < 2:
+        return (mu, mu)
+    half = 1.96 * sample_stdev(data) / math.sqrt(len(data))
+    return (mu - half, mu + half)
+
+
+def finite(values: Iterable[float]) -> List[float]:
+    """Filter out NaN/inf values (infeasible-trial guards)."""
+    return [v for v in values if math.isfinite(v)]

@@ -1,0 +1,50 @@
+"""Network substrates for the sFlow reproduction.
+
+This package models the two network layers of the paper:
+
+* :mod:`repro.network.underlay` -- the physical ("underlying") network:
+  routers/hosts connected by links with bandwidth and propagation latency.
+* :mod:`repro.network.overlay` -- the service overlay graph whose nodes are
+  *service instances* and whose edges are *service links* weighted by the
+  quality of the underlying network path that realises them.
+* :mod:`repro.network.metrics` -- the ``(bandwidth, latency)`` quality
+  algebra and the *shortest-widest* total order used throughout the paper.
+"""
+
+from repro.network.metrics import (
+    LinkMetrics,
+    PathQuality,
+    UNREACHABLE,
+    IDEAL,
+    combine_series,
+    shortest_widest_key,
+)
+from repro.network.underlay import Underlay, UnderlayLink, UnderlayConfig
+from repro.network.overlay import OverlayGraph, ServiceInstance, ServiceLink
+from repro.network.failures import (
+    FailureInjector,
+    FailurePlan,
+    degrade_links,
+    fail_instances,
+    fail_links,
+)
+
+__all__ = [
+    "FailureInjector",
+    "FailurePlan",
+    "degrade_links",
+    "fail_instances",
+    "fail_links",
+    "LinkMetrics",
+    "PathQuality",
+    "UNREACHABLE",
+    "IDEAL",
+    "combine_series",
+    "shortest_widest_key",
+    "Underlay",
+    "UnderlayLink",
+    "UnderlayConfig",
+    "OverlayGraph",
+    "ServiceInstance",
+    "ServiceLink",
+]

@@ -1,0 +1,186 @@
+"""Failure and churn models for service overlay networks.
+
+The paper's title promises *agile* federation; its future-work trajectory
+(and the overlay literature it builds on) is recovery from instance and
+link failures.  This module provides the failure side of that story --
+:mod:`repro.core.repair` provides the recovery side:
+
+* :func:`fail_instances` -- remove service instances (node crash / churn);
+* :func:`fail_links` -- remove individual service links;
+* :func:`degrade_links` -- scale link bandwidth / inflate latency without
+  removing connectivity (congestion, flash crowds);
+* :class:`FailureInjector` -- seeded random failure plans over an overlay,
+  with the guarantee knobs experiments need (e.g. never kill the pinned
+  source instance, keep at least one instance per service).
+
+All operations are **pure**: they return a new
+:class:`~repro.network.overlay.OverlayGraph` and leave the input intact, so
+an experiment can hold the before/after pair side by side.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SFlowError
+from repro.network.metrics import PathQuality
+from repro.network.overlay import OverlayGraph, ServiceInstance
+
+
+def fail_instances(
+    overlay: OverlayGraph, victims: Iterable[ServiceInstance]
+) -> OverlayGraph:
+    """A copy of ``overlay`` without ``victims`` (and their links)."""
+    victim_set = set(victims)
+    for victim in victim_set:
+        if victim not in overlay:
+            raise KeyError(f"cannot fail unknown instance {victim}")
+    keep = [inst for inst in overlay.instances() if inst not in victim_set]
+    return overlay.subgraph(keep)
+
+
+def fail_links(
+    overlay: OverlayGraph,
+    victims: Iterable[Tuple[ServiceInstance, ServiceInstance]],
+) -> OverlayGraph:
+    """A copy of ``overlay`` without the given directed service links."""
+    victim_set = set(victims)
+    for src, dst in victim_set:
+        if overlay.link(src, dst) is None:
+            raise KeyError(f"cannot fail unknown link {src} -> {dst}")
+    result = OverlayGraph()
+    for inst in overlay.instances():
+        result.add_instance(inst)
+    for inst in overlay.instances():
+        for link in overlay.out_links(inst):
+            if (link.src, link.dst) not in victim_set:
+                result.add_link(link.src, link.dst, link.metrics, link.underlay_path)
+    return result
+
+
+def degrade_links(
+    overlay: OverlayGraph,
+    victims: Iterable[Tuple[ServiceInstance, ServiceInstance]],
+    *,
+    bandwidth_factor: float = 0.5,
+    latency_factor: float = 1.0,
+) -> OverlayGraph:
+    """Scale the quality of the given links (congestion model).
+
+    ``bandwidth_factor`` multiplies capacity (must be > 0),
+    ``latency_factor`` multiplies delay (must be >= 1 -- congestion never
+    speeds links up).
+    """
+    if bandwidth_factor <= 0:
+        raise ValueError(f"bandwidth_factor must be > 0, got {bandwidth_factor}")
+    if latency_factor < 1:
+        raise ValueError(f"latency_factor must be >= 1, got {latency_factor}")
+    victim_set = set(victims)
+    for src, dst in victim_set:
+        if overlay.link(src, dst) is None:
+            raise KeyError(f"cannot degrade unknown link {src} -> {dst}")
+    result = OverlayGraph()
+    for inst in overlay.instances():
+        result.add_instance(inst)
+    for inst in overlay.instances():
+        for link in overlay.out_links(inst):
+            metrics = link.metrics
+            if (link.src, link.dst) in victim_set:
+                metrics = PathQuality(
+                    metrics.bandwidth * bandwidth_factor,
+                    metrics.latency * latency_factor,
+                )
+            result.add_link(link.src, link.dst, metrics, link.underlay_path)
+    return result
+
+
+@dataclass
+class FailurePlan:
+    """A concrete set of failures produced by :class:`FailureInjector`."""
+
+    failed_instances: Tuple[ServiceInstance, ...] = ()
+    failed_links: Tuple[Tuple[ServiceInstance, ServiceInstance], ...] = ()
+
+    def apply(self, overlay: OverlayGraph) -> OverlayGraph:
+        """The post-failure overlay."""
+        result = overlay
+        if self.failed_links:
+            result = fail_links(result, self.failed_links)
+        if self.failed_instances:
+            result = fail_instances(result, self.failed_instances)
+        return result
+
+    @property
+    def empty(self) -> bool:
+        return not self.failed_instances and not self.failed_links
+
+
+class FailureInjector:
+    """Seeded random failure plans with experiment-friendly guarantees.
+
+    Args:
+        rng: the randomness source (pass a seeded ``random.Random``).
+        protect: instances that must survive (e.g. the pinned source and
+            sink endpoints the consumer talks to).
+        keep_service_alive: when True (default), never remove the last
+            remaining instance of any service -- failures degrade quality
+            but keep the requirement satisfiable.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        *,
+        protect: Iterable[ServiceInstance] = (),
+        keep_service_alive: bool = True,
+    ) -> None:
+        self._rng = rng
+        self._protect = set(protect)
+        self._keep_alive = keep_service_alive
+
+    def instance_failures(
+        self, overlay: OverlayGraph, count: int
+    ) -> FailurePlan:
+        """Kill up to ``count`` eligible instances, chosen uniformly."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        remaining: Dict[str, int] = {
+            sid: len(overlay.instances_of(sid)) for sid in overlay.sids()
+        }
+        eligible = [
+            inst for inst in overlay.instances() if inst not in self._protect
+        ]
+        self._rng.shuffle(eligible)
+        victims: List[ServiceInstance] = []
+        for inst in eligible:
+            if len(victims) == count:
+                break
+            if self._keep_alive and remaining[inst.sid] <= 1:
+                continue
+            victims.append(inst)
+            remaining[inst.sid] -= 1
+        return FailurePlan(failed_instances=tuple(sorted(victims)))
+
+    def link_failures(self, overlay: OverlayGraph, count: int) -> FailurePlan:
+        """Cut up to ``count`` service links, chosen uniformly."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        links = [
+            (link.src, link.dst)
+            for inst in overlay.instances()
+            for link in overlay.out_links(inst)
+        ]
+        self._rng.shuffle(links)
+        return FailurePlan(failed_links=tuple(sorted(links[:count])))
+
+    def targeted_failure(
+        self, victims: Sequence[ServiceInstance]
+    ) -> FailurePlan:
+        """A deterministic plan killing exactly ``victims`` (after checking
+        the protection set)."""
+        clash = [v for v in victims if v in self._protect]
+        if clash:
+            raise SFlowError(f"refusing to fail protected instances {clash}")
+        return FailurePlan(failed_instances=tuple(sorted(victims)))

@@ -1,0 +1,42 @@
+"""Service model: catalogs, requirements, abstract graphs, flow graphs.
+
+This package implements the service-layer vocabulary of the paper:
+
+* :mod:`repro.services.catalog` -- service types (SIDs) with typed
+  inputs/outputs and the compatibility relation between them.
+* :mod:`repro.services.requirement` -- the service requirement
+  ``R(V_R, E_R)``: a DAG with one source, >= 1 sinks, describing which
+  services the consumer wants federated and in what (partial) order.
+* :mod:`repro.services.abstract_graph` -- the service abstract graph that
+  bridges a requirement to an overlay: every required service populated with
+  its instances, inter-service edges weighted by shortest-widest overlay
+  paths (paper Fig. 6).
+* :mod:`repro.services.flowgraph` -- the service flow graph
+  ``G'(V', E')``: the solution object, with quality evaluation and the
+  correctness coefficient of the evaluation section.
+* :mod:`repro.services.workloads` -- generators for requirements, scenarios
+  and the paper's travel-agency running example.
+"""
+
+from repro.services.catalog import ServiceCatalog, ServiceType
+from repro.services.requirement import RequirementClass, ServiceRequirement
+from repro.services.abstract_graph import AbstractEdge, AbstractGraph
+from repro.services.flowgraph import FlowEdge, ServiceFlowGraph
+from repro.services.execution import StreamConfig, StreamReport, simulate_stream
+from repro.services.serialization import load_json, save_json
+
+__all__ = [
+    "ServiceCatalog",
+    "ServiceType",
+    "RequirementClass",
+    "ServiceRequirement",
+    "AbstractEdge",
+    "AbstractGraph",
+    "FlowEdge",
+    "ServiceFlowGraph",
+    "StreamConfig",
+    "StreamReport",
+    "simulate_stream",
+    "load_json",
+    "save_json",
+]

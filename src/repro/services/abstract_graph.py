@@ -1,0 +1,170 @@
+"""The service abstract graph (paper Sec. 3.1, Fig. 6).
+
+The abstract graph connects a :class:`~repro.services.requirement.ServiceRequirement`
+to an :class:`~repro.network.overlay.OverlayGraph`:
+
+* each required service becomes a *service abstract node* populated with all
+  of its instances in the overlay;
+* instances of service ``A`` are fully connected to instances of service
+  ``B`` whenever the requirement has the edge ``A -> B``;
+* every abstract edge is labelled with the **shortest-widest** quality of the
+  overlay path between the two instances, plus the path itself so flow
+  graphs can later be expanded to concrete overlay routes (the relay
+  instances that "bridge two required services").
+
+The abstract graph is also a routing substrate: ``successors`` yields the
+adjacency view consumed by :mod:`repro.routing.wang_crowcroft`, which is how
+the baseline algorithm computes the shortest-widest *abstract path*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import FederationError
+from repro.network.metrics import LinkMetrics, PathQuality, UNREACHABLE
+from repro.network.overlay import OverlayGraph, ServiceInstance
+from repro.routing.wang_crowcroft import (
+    RouteLabel,
+    extract_path,
+    shortest_widest_tree,
+)
+from repro.services.requirement import ServiceRequirement, Sid
+
+
+@dataclass(frozen=True)
+class AbstractEdge:
+    """An edge between instances of two adjacent required services.
+
+    ``overlay_path`` is the realising shortest-widest route through the
+    overlay (``src`` .. ``dst`` inclusive, possibly via relay instances).
+    """
+
+    src: ServiceInstance
+    dst: ServiceInstance
+    quality: PathQuality
+    overlay_path: Tuple[ServiceInstance, ...]
+
+
+class AbstractGraph:
+    """Service abstract graph bridging a requirement and an overlay."""
+
+    def __init__(
+        self,
+        requirement: ServiceRequirement,
+        instances: Dict[Sid, Tuple[ServiceInstance, ...]],
+        edges: Dict[Tuple[ServiceInstance, ServiceInstance], AbstractEdge],
+    ) -> None:
+        self._requirement = requirement
+        self._instances = instances
+        self._edges = edges
+        self._succ: Dict[ServiceInstance, List[Tuple[ServiceInstance, LinkMetrics]]] = {}
+        for (src, dst), edge in sorted(edges.items()):
+            self._succ.setdefault(src, []).append((dst, edge.quality))
+
+    @classmethod
+    def build(
+        cls,
+        requirement: ServiceRequirement,
+        overlay: OverlayGraph,
+        *,
+        require_usable: bool = False,
+    ) -> "AbstractGraph":
+        """Construct the abstract graph for ``requirement`` over ``overlay``.
+
+        For every requirement edge ``A -> B`` and every instance pair
+        ``(a, b)``, the shortest-widest overlay path from ``a`` to ``b`` is
+        computed (one Wang-Crowcroft tree per distinct source instance,
+        shared across all of its outgoing abstract edges).  Unreachable pairs
+        get no abstract edge.
+
+        Args:
+            requirement: the service requirement.
+            overlay: the overlay to draw instances and paths from.
+            require_usable: when True, raise :class:`FederationError` if some
+                requirement edge has *no* usable instance pair at all (the
+                requirement cannot possibly be federated on this overlay).
+
+        Raises:
+            FederationError: when a required service has no instance, or
+                (with ``require_usable``) when an edge is unrealisable.
+        """
+        instances: Dict[Sid, Tuple[ServiceInstance, ...]] = {}
+        for sid in requirement.services():
+            found = overlay.instances_of(sid)
+            if not found:
+                raise FederationError(
+                    f"required service {sid!r} has no instance in the overlay"
+                )
+            instances[sid] = found
+
+        edges: Dict[Tuple[ServiceInstance, ServiceInstance], AbstractEdge] = {}
+        trees: Dict[ServiceInstance, Dict[ServiceInstance, RouteLabel]] = {}
+        for a_sid, b_sid in requirement.edges():
+            usable = False
+            for a in instances[a_sid]:
+                if a not in trees:
+                    trees[a] = shortest_widest_tree(overlay.successors, a)
+                labels = trees[a]
+                for b in instances[b_sid]:
+                    if a == b:
+                        continue
+                    label = labels.get(b)
+                    if label is None or not label.quality.reachable:
+                        continue
+                    path = tuple(extract_path(labels, a, b))
+                    edges[(a, b)] = AbstractEdge(a, b, label.quality, path)
+                    usable = True
+            if require_usable and not usable:
+                raise FederationError(
+                    f"requirement edge {a_sid!r} -> {b_sid!r} has no usable "
+                    f"instance pair in the overlay"
+                )
+        return cls(requirement, instances, edges)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def requirement(self) -> ServiceRequirement:
+        return self._requirement
+
+    def instances_of(self, sid: Sid) -> Tuple[ServiceInstance, ...]:
+        """All overlay instances of a required service."""
+        try:
+            return self._instances[sid]
+        except KeyError:
+            raise KeyError(f"service {sid!r} not part of this abstract graph") from None
+
+    def nodes(self) -> Iterator[ServiceInstance]:
+        for sid in self._requirement.services():
+            yield from self._instances[sid]
+
+    def edge(
+        self, src: ServiceInstance, dst: ServiceInstance
+    ) -> Optional[AbstractEdge]:
+        return self._edges.get((src, dst))
+
+    def quality(self, src: ServiceInstance, dst: ServiceInstance) -> PathQuality:
+        """Edge quality, or UNREACHABLE when the pair has no abstract edge."""
+        found = self._edges.get((src, dst))
+        return found.quality if found is not None else UNREACHABLE
+
+    def edges(self) -> Iterator[AbstractEdge]:
+        for key in sorted(self._edges):
+            yield self._edges[key]
+
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def successors(
+        self, instance: ServiceInstance
+    ) -> Iterator[Tuple[ServiceInstance, LinkMetrics]]:
+        """Routing adjacency view over abstract edges."""
+        return iter(self._succ.get(instance, ()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AbstractGraph(services={len(self._instances)}, "
+            f"edges={len(self._edges)})"
+        )

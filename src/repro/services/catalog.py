@@ -1,0 +1,152 @@
+"""Service types and the compatibility relation.
+
+The paper distinguishes services only by a service identifier (SID) and says
+"two services are compatible if the output produced by one service matches
+the input requirements of the other" (Sec. 2.2).  We model that literally:
+
+* a :class:`ServiceType` declares the set of data types it consumes
+  (``inputs``) and produces (``outputs``);
+* service ``A`` is *compatible upstream of* ``B`` when
+  ``A.outputs & B.inputs`` is non-empty;
+* a :class:`ServiceCatalog` is the registry that answers compatibility
+  queries and can manufacture a compatibility predicate for
+  :meth:`repro.network.overlay.OverlayGraph.build`.
+
+For experiments where only the requirement topology matters, the catalog can
+also be *derived from a requirement* (every requirement edge induces a
+matching output/input type), which is how the workload generators build
+overlays that are guaranteed to support their requirements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
+
+from repro.errors import RequirementError
+
+Sid = str
+
+
+@dataclass(frozen=True)
+class ServiceType:
+    """A service as an interface: what it consumes and what it produces.
+
+    ``inputs`` empty means the service is a pure producer (a valid source of
+    a federation); ``outputs`` empty means a pure consumer (a valid sink).
+    """
+
+    sid: Sid
+    inputs: FrozenSet[str] = frozenset()
+    outputs: FrozenSet[str] = frozenset()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.sid:
+            raise ValueError("service type needs a non-empty sid")
+
+    def feeds(self, other: "ServiceType") -> bool:
+        """Whether this service's output satisfies ``other``'s input."""
+        return bool(self.outputs & other.inputs)
+
+
+class ServiceCatalog:
+    """Registry of :class:`ServiceType` objects with compatibility queries."""
+
+    def __init__(self, types: Iterable[ServiceType] = ()) -> None:
+        self._types: Dict[Sid, ServiceType] = {}
+        for service_type in types:
+            self.register(service_type)
+
+    def register(self, service_type: ServiceType) -> ServiceType:
+        """Add a service type; re-registering the same SID is an error."""
+        if service_type.sid in self._types:
+            raise ValueError(f"service {service_type.sid!r} already registered")
+        self._types[service_type.sid] = service_type
+        return service_type
+
+    def define(
+        self,
+        sid: Sid,
+        inputs: Iterable[str] = (),
+        outputs: Iterable[str] = (),
+        description: str = "",
+    ) -> ServiceType:
+        """Convenience wrapper around :meth:`register`."""
+        return self.register(
+            ServiceType(sid, frozenset(inputs), frozenset(outputs), description)
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def __contains__(self, sid: Sid) -> bool:
+        return sid in self._types
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+    def __getitem__(self, sid: Sid) -> ServiceType:
+        try:
+            return self._types[sid]
+        except KeyError:
+            raise KeyError(f"unknown service {sid!r}") from None
+
+    def sids(self) -> Iterator[Sid]:
+        return iter(sorted(self._types))
+
+    def compatible(self, upstream: Sid, downstream: Sid) -> bool:
+        """Directed compatibility: can ``upstream`` feed ``downstream``?"""
+        if upstream not in self._types or downstream not in self._types:
+            return False
+        if upstream == downstream:
+            return False
+        return self._types[upstream].feeds(self._types[downstream])
+
+    def compatibility_predicate(self) -> Callable[[Sid, Sid], bool]:
+        """A standalone predicate suitable for ``OverlayGraph.build``."""
+        return self.compatible
+
+    def compatible_pairs(self) -> Iterator[Tuple[Sid, Sid]]:
+        """All ordered compatible ``(upstream, downstream)`` pairs."""
+        for a in self.sids():
+            for b in self.sids():
+                if self.compatible(a, b):
+                    yield (a, b)
+
+    # -- derivation --------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[Sid, Sid]],
+        *,
+        extra_sids: Iterable[Sid] = (),
+    ) -> "ServiceCatalog":
+        """Build a catalog whose compatibility relation is exactly ``edges``.
+
+        Each directed edge ``(a, b)`` gets its own data type ``"a->b"`` added
+        to ``a.outputs`` and ``b.inputs``, so ``compatible(a, b)`` holds for
+        precisely the given pairs.  Workload generators rely on this to build
+        overlays that support a generated requirement and nothing more.
+        """
+        inputs: Dict[Sid, set] = {}
+        outputs: Dict[Sid, set] = {}
+        sids = set(extra_sids)
+        for a, b in edges:
+            if a == b:
+                raise RequirementError(f"self-compatibility for service {a!r}")
+            sids.update((a, b))
+            token = f"{a}->{b}"
+            outputs.setdefault(a, set()).add(token)
+            inputs.setdefault(b, set()).add(token)
+        catalog = cls()
+        for sid in sorted(sids):
+            catalog.define(
+                sid,
+                inputs=inputs.get(sid, ()),
+                outputs=outputs.get(sid, ()),
+            )
+        return catalog
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ServiceCatalog({sorted(self._types)})"

@@ -1,0 +1,295 @@
+"""Service flow graphs: the solution object of the federation problem.
+
+A *service flow graph* ``G'(V', E')`` (paper Sec. 3.1) selects **exactly one
+instance for every required service** and realises every requirement edge
+with a concrete overlay route.  This module provides:
+
+* :class:`FlowEdge` -- one realised requirement edge;
+* :class:`ServiceFlowGraph` -- assignment + edges, with
+
+  - validation against the requirement,
+  - quality evaluation: bottleneck **bandwidth** (the paper equates overall
+    throughput with the bottleneck link, Sec. 3.2) and critical-path
+    **latency** (services execute as soon as all their inputs are ready, so
+    the federated service completes after the longest source->sink path),
+  - the *sequential* latency of the service-path execution model (every
+    service waits for the previous one), used to score the single-path
+    control algorithm in Fig. 10(c),
+  - the **correctness coefficient** of the evaluation section: the fraction
+    of instance choices that agree with the global optimum;
+
+* support for *partial* flow graphs, which is what sFlow nodes exchange in
+  ``sfederate`` messages, together with conflict-checked :meth:`merge`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Set, Tuple
+
+from repro.errors import FederationError
+from repro.network.metrics import PathQuality, UNREACHABLE, combine_series
+from repro.network.overlay import ServiceInstance
+from repro.services.abstract_graph import AbstractGraph
+from repro.services.requirement import ServiceRequirement, Sid
+
+
+@dataclass(frozen=True)
+class FlowEdge:
+    """A requirement edge realised by a concrete overlay route."""
+
+    src: ServiceInstance
+    dst: ServiceInstance
+    quality: PathQuality
+    overlay_path: Tuple[ServiceInstance, ...] = ()
+
+    @property
+    def requirement_edge(self) -> Tuple[Sid, Sid]:
+        return (self.src.sid, self.dst.sid)
+
+
+class ServiceFlowGraph:
+    """An (optionally partial) assignment of instances plus realised edges."""
+
+    def __init__(
+        self,
+        requirement: ServiceRequirement,
+        assignment: Mapping[Sid, ServiceInstance],
+        edges: Iterable[FlowEdge] = (),
+    ) -> None:
+        self._requirement = requirement
+        self._assignment: Dict[Sid, ServiceInstance] = {}
+        for sid, inst in assignment.items():
+            if sid not in requirement:
+                raise FederationError(f"assignment for unknown service {sid!r}")
+            if inst.sid != sid:
+                raise FederationError(
+                    f"service {sid!r} assigned an instance of {inst.sid!r} ({inst})"
+                )
+            self._assignment[sid] = inst
+        self._edges: Dict[Tuple[Sid, Sid], FlowEdge] = {}
+        for edge in edges:
+            key = edge.requirement_edge
+            if not requirement.has_edge(*key):
+                raise FederationError(f"edge {key} is not part of the requirement")
+            for sid, inst in ((key[0], edge.src), (key[1], edge.dst)):
+                assigned = self._assignment.get(sid)
+                if assigned is None:
+                    self._assignment[sid] = inst
+                elif assigned != inst:
+                    raise FederationError(
+                        f"edge {key} uses {inst} but service {sid!r} is "
+                        f"assigned {assigned}"
+                    )
+            self._edges[key] = edge
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def realize(
+        cls,
+        abstract: AbstractGraph,
+        assignment: Mapping[Sid, ServiceInstance],
+        *,
+        strict: bool = True,
+    ) -> "ServiceFlowGraph":
+        """Expand a full assignment into a flow graph via the abstract graph.
+
+        Every requirement edge is realised with the shortest-widest overlay
+        path recorded on the corresponding abstract edge (step 4 of the
+        baseline algorithm, Table 1).
+
+        Args:
+            abstract: abstract graph for the requirement/overlay pair.
+            assignment: one instance per required service.
+            strict: when True (default), an unrealisable edge raises
+                :class:`FederationError`; when False it is kept with
+                :data:`UNREACHABLE` quality so low-quality heuristics (the
+                random control algorithm) can still be scored.
+        """
+        requirement = abstract.requirement
+        missing = [s for s in requirement.services() if s not in assignment]
+        if missing:
+            raise FederationError(f"assignment misses services {missing}")
+        edges = []
+        for a_sid, b_sid in requirement.edges():
+            a, b = assignment[a_sid], assignment[b_sid]
+            abstract_edge = abstract.edge(a, b)
+            if abstract_edge is None:
+                if strict:
+                    raise FederationError(
+                        f"no usable overlay path from {a} to {b} for "
+                        f"requirement edge {a_sid!r} -> {b_sid!r}"
+                    )
+                edges.append(FlowEdge(a, b, UNREACHABLE, ()))
+            else:
+                edges.append(
+                    FlowEdge(a, b, abstract_edge.quality, abstract_edge.overlay_path)
+                )
+        return cls(requirement, dict(assignment), edges)
+
+    # -- structure -------------------------------------------------------------
+
+    @property
+    def requirement(self) -> ServiceRequirement:
+        return self._requirement
+
+    @property
+    def assignment(self) -> Dict[Sid, ServiceInstance]:
+        """A copy of the service -> instance mapping."""
+        return dict(self._assignment)
+
+    def instance_for(self, sid: Sid) -> Optional[ServiceInstance]:
+        return self._assignment.get(sid)
+
+    def edges(self) -> Tuple[FlowEdge, ...]:
+        return tuple(self._edges[key] for key in sorted(self._edges))
+
+    def edge(self, a_sid: Sid, b_sid: Sid) -> Optional[FlowEdge]:
+        return self._edges.get((a_sid, b_sid))
+
+    def is_complete(self) -> bool:
+        """Whether every service is assigned and every edge realised."""
+        return len(self._assignment) == len(self._requirement) and len(
+            self._edges
+        ) == len(self._requirement.edges())
+
+    def validate(self) -> None:
+        """Raise :class:`FederationError` unless this is a complete, coherent
+        flow graph for its requirement."""
+        if not self.is_complete():
+            missing_services = [
+                s for s in self._requirement.services() if s not in self._assignment
+            ]
+            missing_edges = [
+                e for e in self._requirement.edges() if e not in self._edges
+            ]
+            raise FederationError(
+                f"incomplete flow graph: services missing {missing_services}, "
+                f"edges missing {missing_edges}"
+            )
+        for key, edge in self._edges.items():
+            if not edge.quality.reachable:
+                raise FederationError(f"edge {key} is unreachable ({edge.quality})")
+
+    def relay_instances(self) -> Set[ServiceInstance]:
+        """Instances that only appear inside realised overlay paths -- the
+        "other service instances that bridge two required services"."""
+        assigned = set(self._assignment.values())
+        relays: Set[ServiceInstance] = set()
+        for edge in self._edges.values():
+            relays.update(inst for inst in edge.overlay_path if inst not in assigned)
+        return relays
+
+    # -- quality -----------------------------------------------------------------
+
+    def bottleneck_bandwidth(self) -> float:
+        """Overall throughput: the minimum bandwidth over all edges."""
+        if not self._edges:
+            return 0.0
+        return min(edge.quality.bandwidth for edge in self._edges.values())
+
+    def end_to_end_latency(self) -> float:
+        """Critical-path latency from the source to the slowest sink.
+
+        Services run as soon as all their inputs arrive (the DAG execution
+        model that motivates the paper), so completion time is the longest
+        source -> sink path measured in accumulated edge latency.
+        """
+        order = self._requirement.topological_order()
+        finish: Dict[Sid, float] = {order[0]: 0.0}
+        for sid in order[1:]:
+            best = 0.0
+            for pred in self._requirement.predecessors(sid):
+                edge = self._edges.get((pred, sid))
+                lat = edge.quality.latency if edge is not None else float("inf")
+                best = max(best, finish.get(pred, float("inf")) + lat)
+            finish[sid] = best
+        return max(finish[s] for s in self._requirement.sinks)
+
+    def sequential_latency(self) -> float:
+        """Latency under the *service path* execution model: every service
+        waits for the previous one, so edge latencies simply accumulate."""
+        return sum(edge.quality.latency for edge in self._edges.values())
+
+    def quality(self) -> PathQuality:
+        """``(bottleneck bandwidth, critical-path latency)`` -- the value the
+        shortest-widest order ranks flow graphs by."""
+        return PathQuality(self.bottleneck_bandwidth(), self.end_to_end_latency())
+
+    # -- evaluation ----------------------------------------------------------------
+
+    def correctness_coefficient(self, reference: "ServiceFlowGraph") -> float:
+        """Fraction of ``reference``'s instance choices that this graph matches.
+
+        This is the metric of Fig. 10(a): "the ratio between the number of
+        matching nodes in the two service flow graphs and the total number of
+        nodes in the global optimal graph".
+        """
+        ref = reference._assignment
+        if not ref:
+            raise FederationError("reference flow graph has no assignment")
+        matching = sum(
+            1 for sid, inst in ref.items() if self._assignment.get(sid) == inst
+        )
+        return matching / len(ref)
+
+    # -- export --------------------------------------------------------------------
+
+    def to_dot(self) -> str:
+        """Graphviz rendering of the flow graph (used by the examples)."""
+        lines = ["digraph flowgraph {", "  rankdir=LR;"]
+        for sid in self._requirement.services():
+            inst = self._assignment.get(sid)
+            label = str(inst) if inst is not None else f"{sid}/?"
+            lines.append(f'  "{sid}" [label="{label}"];')
+        for (a, b), edge in sorted(self._edges.items()):
+            lines.append(
+                f'  "{a}" -> "{b}" '
+                f'[label="bw={edge.quality.bandwidth:g} lat={edge.quality.latency:g}"];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = "complete" if self.is_complete() else "partial"
+        return (
+            f"ServiceFlowGraph({status}, assigned={len(self._assignment)}/"
+            f"{len(self._requirement)}, edges={len(self._edges)}/"
+            f"{len(self._requirement.edges())})"
+        )
+
+
+def merge_partial_graphs(
+    requirement: ServiceRequirement,
+    parts: Iterable[ServiceFlowGraph],
+) -> ServiceFlowGraph:
+    """Combine partial flow graphs into one, checking for conflicts.
+
+    The sink-side assembly step of the distributed sFlow algorithm: as
+    ``sfederate`` messages from different branches arrive, their partial
+    graphs must agree on every shared service (e.g. a pinned merge
+    instance).  Conflicting assignments raise :class:`FederationError`.
+    """
+    assignment: Dict[Sid, ServiceInstance] = {}
+    edges: Dict[Tuple[Sid, Sid], FlowEdge] = {}
+    for part in parts:
+        if part.requirement.services() != requirement.services() and not set(
+            part.requirement.services()
+        ) <= set(requirement.services()):
+            raise FederationError("partial graph belongs to a different requirement")
+        for sid, inst in part._assignment.items():
+            existing = assignment.get(sid)
+            if existing is None:
+                assignment[sid] = inst
+            elif existing != inst:
+                raise FederationError(
+                    f"conflicting assignment for {sid!r}: {existing} vs {inst}"
+                )
+        for key, edge in part._edges.items():
+            existing_edge = edges.get(key)
+            if existing_edge is None:
+                edges[key] = edge
+            elif (existing_edge.src, existing_edge.dst) != (edge.src, edge.dst):
+                raise FederationError(f"conflicting realisation for edge {key}")
+    return ServiceFlowGraph(requirement, assignment, edges.values())

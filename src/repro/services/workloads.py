@@ -1,0 +1,437 @@
+"""Workload and scenario generators.
+
+The evaluation section of the paper runs the federation algorithms over
+random overlays of 10..50 nodes with "service requirements of any type".
+This module produces those inputs reproducibly:
+
+* :func:`random_requirement` -- a requirement of a chosen
+  :class:`~repro.services.requirement.RequirementClass` over fresh SIDs;
+* :func:`generate_scenario` -- a complete (underlay, overlay, catalog,
+  requirement) bundle from a :class:`ScenarioConfig`;
+* :func:`travel_agency_scenario` -- the paper's running example (travel
+  engine, airline/hotel/attraction/car-rental feeds, currency/map/translator
+  processors, travel agency sink; Figs. 1-5);
+* :func:`media_pipeline_scenario` -- a second domain example (media
+  transcoding/packaging), the application family the paper's introduction
+  cites for traditional service paths.
+
+Everything is driven by explicit seeds; the same config always yields the
+same scenario, which the experiment harness relies on for paired
+comparisons between algorithms.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import RequirementError
+from repro.network.overlay import OverlayGraph, ServiceInstance
+from repro.network.underlay import Underlay, UnderlayConfig
+from repro.services.catalog import ServiceCatalog
+from repro.services.requirement import RequirementClass, ServiceRequirement, Sid
+
+
+@dataclass
+class Scenario:
+    """A self-contained federation problem instance."""
+
+    underlay: Underlay
+    overlay: OverlayGraph
+    catalog: ServiceCatalog
+    requirement: ServiceRequirement
+    source_instance: ServiceInstance
+    seed: int
+
+    def describe(self) -> str:
+        """One-line human summary, used by examples and experiment logs."""
+        return (
+            f"scenario(seed={self.seed}): underlay n={self.underlay.n}, "
+            f"overlay instances={len(self.overlay)}, "
+            f"links={self.overlay.num_links()}, requirement "
+            f"{self.requirement.classify().value} with "
+            f"{len(self.requirement)} services"
+        )
+
+
+@dataclass
+class ScenarioConfig:
+    """Parameters for :func:`generate_scenario`.
+
+    Attributes:
+        network_size: number of hosts in the underlay (the x-axis of every
+            Fig. 10 panel).
+        n_services: number of required services in the requirement.
+        requirement_class: which topology to generate (``None`` -> drawn
+            uniformly from PATH / DISJOINT_PATHS / SPLIT_MERGE / GENERAL,
+            the paper's "requirements of any type").
+        instances_per_service: inclusive range for the number of instances
+            of each intermediate service.
+        single_source_instance: the user hands the requirement to one
+            concrete source node, so the source service defaults to a single
+            instance (paper Sec. 4).
+        extra_compatibility: probability of adding a compatibility pair that
+            the requirement does not need (enriches the overlay with relay
+            opportunities).
+        underlay: template for the physical network (``n`` is overridden by
+            ``network_size``).
+        seed: master seed; requirement, placement and underlay derive
+            sub-seeds from it.
+    """
+
+    network_size: int = 20
+    n_services: int = 6
+    requirement_class: Optional[RequirementClass] = None
+    instances_per_service: Tuple[int, int] = (1, 3)
+    single_source_instance: bool = True
+    extra_compatibility: float = 0.1
+    underlay: UnderlayConfig = field(
+        default_factory=lambda: UnderlayConfig(n=20)
+    )
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_services < 2:
+            raise ValueError("need at least source and sink services")
+        lo, hi = self.instances_per_service
+        if not (1 <= lo <= hi):
+            raise ValueError(f"bad instances_per_service {self.instances_per_service}")
+        if self.network_size < 2:
+            raise ValueError("network_size must be >= 2")
+
+
+# ---------------------------------------------------------------------------
+# Requirement generation
+# ---------------------------------------------------------------------------
+
+_RANDOM_CLASSES = (
+    RequirementClass.PATH,
+    RequirementClass.DISJOINT_PATHS,
+    RequirementClass.SPLIT_MERGE,
+    RequirementClass.GENERAL,
+)
+
+
+def random_requirement(
+    rng: random.Random,
+    n_services: int,
+    clazz: Optional[RequirementClass] = None,
+) -> ServiceRequirement:
+    """Generate a requirement with ``n_services`` services of class ``clazz``.
+
+    SIDs are ``s0`` (source) .. ``s{n-1}``; ``s{n-1}`` is always a sink.
+    Small ``n_services`` may force a simpler class than requested (e.g. a
+    3-service DISJOINT_PATHS request degenerates to a path); the returned
+    object's :meth:`classify` is authoritative.
+    """
+    if n_services < 1:
+        raise RequirementError("n_services must be >= 1")
+    if clazz is None:
+        clazz = rng.choice(_RANDOM_CLASSES)
+    sids = [f"s{i}" for i in range(n_services)]
+    if n_services == 1:
+        return ServiceRequirement(nodes=sids)
+    if n_services == 2 or clazz is RequirementClass.PATH:
+        return ServiceRequirement.from_path(sids)
+    if clazz is RequirementClass.SINGLE:
+        return ServiceRequirement(nodes=sids[:1])
+    if clazz is RequirementClass.TREE:
+        return _random_tree(rng, sids)
+    if clazz is RequirementClass.DISJOINT_PATHS:
+        return _random_disjoint_paths(rng, sids)
+    if clazz is RequirementClass.SPLIT_MERGE:
+        return _random_series_parallel(rng, sids)
+    if clazz is RequirementClass.GENERAL:
+        return _random_layered_dag(rng, sids)
+    raise AssertionError(f"unhandled class {clazz}")
+
+
+def _random_tree(rng: random.Random, sids: Sequence[Sid]) -> ServiceRequirement:
+    """Random rooted tree: each service attaches below an earlier one."""
+    edges = []
+    for i in range(1, len(sids)):
+        parent = sids[rng.randrange(i)]
+        edges.append((parent, sids[i]))
+    return ServiceRequirement(edges=edges)
+
+
+def _random_disjoint_paths(
+    rng: random.Random, sids: Sequence[Sid]
+) -> ServiceRequirement:
+    """Source + sink + intermediates split over 2..k parallel chains."""
+    source, sink = sids[0], sids[-1]
+    middle = list(sids[1:-1])
+    n_branches = rng.randint(2, max(2, min(len(middle), 4)))
+    branches: List[List[Sid]] = [[] for _ in range(n_branches)]
+    for i, sid in enumerate(middle):
+        branches[i % n_branches].append(sid)
+    branches = [b for b in branches if b] or [[]]
+    return ServiceRequirement.parallel(source, sink, branches)
+
+
+def _random_series_parallel(
+    rng: random.Random, sids: Sequence[Sid]
+) -> ServiceRequirement:
+    """Random two-terminal series-parallel DAG using all given services.
+
+    Recursively splits the pool of intermediate services into series or
+    parallel blocks between the source and the sink.
+    """
+    source, sink = sids[0], sids[-1]
+    middle = list(sids[1:-1])
+    edges: List[Tuple[Sid, Sid]] = []
+
+    def block(u: Sid, v: Sid, pool: List[Sid], allow_direct: bool) -> None:
+        if not pool:
+            edges.append((u, v))
+            return
+        if len(pool) == 1:
+            edges.append((u, pool[0]))
+            edges.append((pool[0], v))
+            return
+        if rng.random() < 0.5:
+            # Series: u -> block -> w -> block -> v around a pivot service w.
+            pivot_idx = rng.randrange(len(pool))
+            w = pool[pivot_idx]
+            rest = pool[:pivot_idx] + pool[pivot_idx + 1 :]
+            cut = rng.randint(0, len(rest))
+            block(u, w, rest[:cut], True)
+            block(w, v, rest[cut:], True)
+        else:
+            # Parallel: split the pool over 2 branches; at most one branch may
+            # be a direct edge (simple graphs carry no parallel multi-edges).
+            cut = rng.randint(1, len(pool) - 1)
+            block(u, v, pool[:cut], allow_direct)
+            block(u, v, pool[cut:], False)
+
+    block(source, sink, middle, True)
+    return ServiceRequirement(edges=edges)
+
+
+def _random_layered_dag(rng: random.Random, sids: Sequence[Sid]) -> ServiceRequirement:
+    """General DAG: random forward layers, every node wired to earlier layers."""
+    source, sink = sids[0], sids[-1]
+    middle = list(sids[1:-1])
+    n_layers = rng.randint(1, max(1, len(middle)))
+    layers: List[List[Sid]] = [[source]] + [[] for _ in range(n_layers)] + [[sink]]
+    for i, sid in enumerate(middle):
+        layers[1 + i % n_layers].append(sid)
+    layers = [layer for layer in layers if layer]
+    edges: List[Tuple[Sid, Sid]] = []
+    for depth in range(1, len(layers)):
+        earlier = [s for layer in layers[:depth] for s in layer]
+        for sid in layers[depth]:
+            n_parents = rng.randint(1, min(2, len(earlier)))
+            for parent in rng.sample(earlier, n_parents):
+                edges.append((parent, sid))
+    # Every non-sink service must feed something downstream.
+    downstream_of: Dict[Sid, bool] = {s: False for s in sids}
+    for a, _ in edges:
+        downstream_of[a] = True
+    for depth, layer in enumerate(layers[:-1]):
+        later = [s for lyr in layers[depth + 1 :] for s in lyr]
+        for sid in layer:
+            if not downstream_of[sid]:
+                edges.append((sid, rng.choice(later)))
+                downstream_of[sid] = True
+    return ServiceRequirement(edges=edges)
+
+
+# ---------------------------------------------------------------------------
+# Scenario generation
+# ---------------------------------------------------------------------------
+
+
+def generate_scenario(config: ScenarioConfig) -> Scenario:
+    """Produce a full federation problem from a :class:`ScenarioConfig`."""
+    rng = random.Random(config.seed)
+    requirement = random_requirement(
+        random.Random(rng.randrange(2**31)),
+        config.n_services,
+        config.requirement_class,
+    )
+    catalog = _catalog_for(requirement, config.extra_compatibility, rng)
+    underlay_config = replace(
+        config.underlay,
+        n=config.network_size,
+        seed=rng.randrange(2**31),
+    )
+    underlay = Underlay.generate(underlay_config)
+    placement = _place_instances(rng, requirement, underlay, config)
+    overlay = OverlayGraph.build(underlay, placement, catalog.compatible)
+    source_instances = overlay.instances_of(requirement.source)
+    return Scenario(
+        underlay=underlay,
+        overlay=overlay,
+        catalog=catalog,
+        requirement=requirement,
+        source_instance=source_instances[0],
+        seed=config.seed,
+    )
+
+
+def _catalog_for(
+    requirement: ServiceRequirement,
+    extra_compatibility: float,
+    rng: random.Random,
+) -> ServiceCatalog:
+    """Catalog covering the requirement plus optional extra relay pairs.
+
+    Extra pairs are only added in topological-order direction, so overlay
+    relay routes always respect the data-flow direction of the requirement.
+    """
+    edges = list(requirement.edges())
+    order = requirement.topological_order()
+    position = {sid: i for i, sid in enumerate(order)}
+    existing = set(edges)
+    for a in order:
+        for b in order:
+            if position[a] >= position[b] or (a, b) in existing:
+                continue
+            if rng.random() < extra_compatibility:
+                edges.append((a, b))
+                existing.add((a, b))
+    return ServiceCatalog.from_edges(edges)
+
+
+def _place_instances(
+    rng: random.Random,
+    requirement: ServiceRequirement,
+    underlay: Underlay,
+    config: ScenarioConfig,
+) -> List[ServiceInstance]:
+    """Place every service's instances on distinct random hosts."""
+    placement: List[ServiceInstance] = []
+    hosts = list(range(underlay.n))
+    lo, hi = config.instances_per_service
+    for sid in requirement.services():
+        if sid == requirement.source and config.single_source_instance:
+            count = 1
+        else:
+            count = rng.randint(lo, hi)
+        count = min(count, underlay.n)
+        for nid in rng.sample(hosts, count):
+            placement.append(ServiceInstance(sid, nid))
+    return placement
+
+
+# ---------------------------------------------------------------------------
+# The paper's running example
+# ---------------------------------------------------------------------------
+
+TRAVEL_SERVICES = (
+    "travel_engine",
+    "airline",
+    "hotel",
+    "attraction",
+    "car_rental",
+    "currency",
+    "map",
+    "translator",
+    "agency",
+)
+
+
+def travel_agency_requirement() -> ServiceRequirement:
+    """The generic travel requirement of Fig. 5 (split and merge streams).
+
+    The travel engine fans out to the airline, hotel, attraction and
+    car-rental feeds; price-bearing results merge into the currency
+    converter, location-bearing results into the map renderer, text into the
+    translator; everything is federated at the travel agency.
+    """
+    return ServiceRequirement(
+        edges=[
+            ("travel_engine", "airline"),
+            ("travel_engine", "hotel"),
+            ("travel_engine", "attraction"),
+            ("travel_engine", "car_rental"),
+            ("airline", "currency"),
+            ("hotel", "currency"),
+            ("hotel", "map"),
+            ("attraction", "map"),
+            ("attraction", "translator"),
+            ("car_rental", "map"),
+            ("currency", "agency"),
+            ("map", "agency"),
+            ("translator", "agency"),
+        ]
+    )
+
+
+def travel_agency_scenario(
+    *, seed: int = 7, network_size: int = 16, instances_per_service: int = 2
+) -> Scenario:
+    """A fully-instantiated travel-agency federation problem.
+
+    The travel engine and the agency each have a single designated instance
+    (the consumer talks to concrete endpoints); every other service has
+    ``instances_per_service`` replicas spread over a Waxman underlay.
+    """
+    rng = random.Random(seed)
+    requirement = travel_agency_requirement()
+    catalog = ServiceCatalog.from_edges(requirement.edges())
+    underlay = Underlay.generate(
+        UnderlayConfig(n=network_size, seed=rng.randrange(2**31))
+    )
+    placement: List[ServiceInstance] = []
+    hosts = list(range(underlay.n))
+    for sid in requirement.services():
+        count = 1 if sid in ("travel_engine", "agency") else instances_per_service
+        for nid in rng.sample(hosts, min(count, underlay.n)):
+            placement.append(ServiceInstance(sid, nid))
+    overlay = OverlayGraph.build(underlay, placement, catalog.compatible)
+    return Scenario(
+        underlay=underlay,
+        overlay=overlay,
+        catalog=catalog,
+        requirement=requirement,
+        source_instance=overlay.instances_of("travel_engine")[0],
+        seed=seed,
+    )
+
+
+def media_pipeline_requirement() -> ServiceRequirement:
+    """A media processing pipeline: the service-path application family.
+
+    capture -> transcode, then watermarking and thumbnailing in parallel,
+    merged by the packager and delivered to the edge cache.
+    """
+    return ServiceRequirement(
+        edges=[
+            ("capture", "transcode"),
+            ("transcode", "watermark"),
+            ("transcode", "thumbnail"),
+            ("watermark", "package"),
+            ("thumbnail", "package"),
+            ("package", "edge_cache"),
+        ]
+    )
+
+
+def media_pipeline_scenario(
+    *, seed: int = 11, network_size: int = 14, instances_per_service: int = 3
+) -> Scenario:
+    """A fully-instantiated media-pipeline federation problem."""
+    rng = random.Random(seed)
+    requirement = media_pipeline_requirement()
+    catalog = ServiceCatalog.from_edges(requirement.edges())
+    underlay = Underlay.generate(
+        UnderlayConfig(n=network_size, seed=rng.randrange(2**31))
+    )
+    placement: List[ServiceInstance] = []
+    hosts = list(range(underlay.n))
+    for sid in requirement.services():
+        count = 1 if sid == "capture" else instances_per_service
+        for nid in rng.sample(hosts, min(count, underlay.n)):
+            placement.append(ServiceInstance(sid, nid))
+    overlay = OverlayGraph.build(underlay, placement, catalog.compatible)
+    return Scenario(
+        underlay=underlay,
+        overlay=overlay,
+        catalog=catalog,
+        requirement=requirement,
+        source_instance=overlay.instances_of("capture")[0],
+        seed=seed,
+    )

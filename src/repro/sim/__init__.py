@@ -1,0 +1,52 @@
+"""A small discrete-event simulation kernel.
+
+The paper evaluates sFlow with "event-driven simulation methodology"; the
+reproduction hint suggests simpy, which is not available offline, so this
+package implements the subset we need from scratch (see DESIGN.md,
+"Substitutions"):
+
+* :class:`~repro.sim.engine.Environment` -- the event loop: virtual clock,
+  event scheduling, ``run(until=...)``.
+* :class:`~repro.sim.engine.Event` / :class:`~repro.sim.engine.Timeout` --
+  one-shot triggerable events.
+* :class:`~repro.sim.engine.Process` -- generator-based coroutines that
+  ``yield`` events to wait on them (the simpy programming model).
+* :class:`~repro.sim.channels.Mailbox` -- a FIFO message queue with blocking
+  receive, the primitive under every simulated protocol endpoint.
+* :class:`~repro.sim.channels.MessageNetwork` -- point-to-point delivery with
+  per-message latency and counters (messages, bytes, hops), which carries
+  the ``sfederate`` traffic of the distributed sFlow algorithm.
+"""
+
+from repro.sim.engine import AnyOf, AllOf, Environment, Event, Interrupt, Process, Timeout
+from repro.sim.channels import Mailbox, MessageNetwork, Envelope
+from repro.sim.resources import Request, Resource, Store
+
+
+def __getattr__(name):
+    # Lazy: repro.sim.dataplane imports the services layer, which in turn
+    # imports repro.routing -> repro.sim; importing it eagerly here would
+    # close that cycle during package initialisation.
+    if name == "simulate_stream_des":
+        from repro.sim.dataplane import simulate_stream_des
+
+        return simulate_stream_des
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "Request",
+    "Resource",
+    "Store",
+    "simulate_stream_des",
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Envelope",
+    "Event",
+    "Interrupt",
+    "Mailbox",
+    "MessageNetwork",
+    "Process",
+    "Timeout",
+]

@@ -1,0 +1,172 @@
+"""Message-passing primitives on top of the simulation kernel.
+
+Simulated protocol endpoints (sFlow service nodes, link-state routers)
+communicate through a :class:`MessageNetwork`: a point-to-point transport
+that delivers an :class:`Envelope` into the destination's :class:`Mailbox`
+after a configurable latency.  The network keeps delivery statistics
+(messages, bytes, per-destination counts) so experiments can report protocol
+overhead without instrumenting every node.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Hashable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment, Event
+
+Address = Hashable
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A message in flight: sender, receiver, payload and bookkeeping."""
+
+    src: Address
+    dst: Address
+    payload: Any
+    sent_at: float
+    size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise SimulationError(f"message size must be >= 0, got {self.size}")
+
+
+class Mailbox:
+    """An unbounded FIFO queue with event-based blocking receive.
+
+    ``get()`` returns an :class:`~repro.sim.engine.Event` that fires with the
+    next envelope -- immediately if one is queued, otherwise as soon as one
+    arrives.  Multiple pending ``get()`` calls are served in FIFO order.
+    """
+
+    def __init__(self, env: Environment, owner: Address = None) -> None:
+        self.env = env
+        self.owner = owner
+        self._items: Deque[Envelope] = deque()
+        self._getters: Deque[Event] = deque()
+        self.received = 0
+
+    def put(self, envelope: Envelope) -> None:
+        """Deposit an envelope, waking one waiting receiver if any."""
+        self.received += 1
+        if self._getters:
+            self._getters.popleft().succeed(envelope)
+        else:
+            self._items.append(envelope)
+
+    def get(self) -> Event:
+        """An event yielding the next envelope (FIFO)."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def __len__(self) -> int:
+        """Number of envelopes queued (excluding ones already claimed)."""
+        return len(self._items)
+
+
+#: ``latency_fn(src, dst, envelope) -> delay`` pluggable delivery model.
+LatencyFn = Callable[[Address, Address, Envelope], float]
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate transport counters, reset with :meth:`MessageNetwork.reset_stats`."""
+
+    messages: int = 0
+    bytes: int = 0
+    dropped: int = 0
+    lost: int = 0
+    per_destination: Dict[Address, int] = field(default_factory=dict)
+
+
+class MessageNetwork:
+    """Point-to-point message delivery with per-message latency.
+
+    Endpoints register a :class:`Mailbox` under an address.  ``send`` either
+    takes an explicit ``latency`` or consults the network's latency function
+    (default: zero delay).  Sending to an unregistered address raises unless
+    the network was built with ``drop_unroutable=True``, in which case the
+    message is counted as dropped -- useful for failure-injection tests.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        latency_fn: Optional[LatencyFn] = None,
+        *,
+        drop_unroutable: bool = False,
+        loss_fn: Optional[Callable[[Address, Address, Envelope], bool]] = None,
+    ) -> None:
+        self.env = env
+        self._latency_fn = latency_fn
+        self._drop_unroutable = drop_unroutable
+        self._loss_fn = loss_fn
+        self._mailboxes: Dict[Address, Mailbox] = {}
+        self.stats = NetworkStats()
+
+    # -- membership -------------------------------------------------------------
+
+    def register(self, address: Address) -> Mailbox:
+        """Create (or fetch) the mailbox for ``address``."""
+        if address not in self._mailboxes:
+            self._mailboxes[address] = Mailbox(self.env, owner=address)
+        return self._mailboxes[address]
+
+    def mailbox(self, address: Address) -> Mailbox:
+        try:
+            return self._mailboxes[address]
+        except KeyError:
+            raise SimulationError(f"no endpoint registered at {address!r}") from None
+
+    def addresses(self):
+        return sorted(self._mailboxes, key=repr)
+
+    # -- delivery ----------------------------------------------------------------
+
+    def send(
+        self,
+        src: Address,
+        dst: Address,
+        payload: Any,
+        *,
+        latency: Optional[float] = None,
+        size: int = 1,
+    ) -> Optional[Envelope]:
+        """Send ``payload`` from ``src`` to ``dst``.
+
+        Returns the envelope, or ``None`` when the destination is missing
+        and the network drops unroutable traffic.
+        """
+        envelope = Envelope(src, dst, payload, sent_at=self.env.now, size=size)
+        box = self._mailboxes.get(dst)
+        if box is None:
+            if self._drop_unroutable:
+                self.stats.dropped += 1
+                return None
+            raise SimulationError(f"cannot deliver to unregistered address {dst!r}")
+        if latency is None:
+            latency = self._latency_fn(src, dst, envelope) if self._latency_fn else 0.0
+        if latency < 0:
+            raise SimulationError(f"negative delivery latency {latency}")
+        self.stats.messages += 1
+        self.stats.bytes += size
+        self.stats.per_destination[dst] = self.stats.per_destination.get(dst, 0) + 1
+        if self._loss_fn is not None and self._loss_fn(src, dst, envelope):
+            # The sender paid for the transmission; the network ate it.
+            self.stats.lost += 1
+            return envelope
+        delivery = Event(self.env)
+        delivery.callbacks.append(lambda _e: box.put(envelope))
+        delivery.succeed(delay=latency)
+        return envelope
+
+    def reset_stats(self) -> None:
+        self.stats = NetworkStats()

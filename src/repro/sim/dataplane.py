@@ -1,0 +1,149 @@
+"""Data-plane execution on the discrete-event simulator.
+
+:mod:`repro.services.execution` computes the streaming behaviour of a flow
+graph as a closed-form dataflow recurrence.  This module runs the *same*
+pipeline as actual simulated processes -- one per service, one per edge --
+with :class:`~repro.sim.resources.Store` buffers carrying the units and
+edge processes serialising transmissions.  Agreement between the two
+executors (asserted in ``tests/sim/test_dataplane.py``) is a strong
+end-to-end check on both: the analytic recurrence validates the simulation
+kernel's scheduling, and the kernel validates the recurrence's modelling
+assumptions.
+
+The simulated pipeline, per data unit:
+
+* the **source process** emits units in order, spaced by ``emit_interval``
+  and its own processing delay;
+* an **edge process** per flow edge takes units FIFO from its input
+  buffer, holds the (serialising) channel for ``unit_size / bandwidth``,
+  then delivers after the propagation latency -- new transmissions may
+  start while earlier ones propagate, exactly like a pipelined link;
+* a **service process** per non-source service collects one unit from
+  every incoming edge buffer (all inputs must arrive), spends its
+  processing delay, and forwards downstream; sinks record delivery times.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.services.execution import StreamConfig, StreamReport
+from repro.services.flowgraph import ServiceFlowGraph
+from repro.services.requirement import Sid
+from repro.sim.engine import Environment, Event
+from repro.sim.resources import Store
+
+
+def simulate_stream_des(
+    flow_graph: ServiceFlowGraph,
+    config: StreamConfig = None,
+) -> StreamReport:
+    """Run the stream on the DES; same contract as
+    :func:`repro.services.execution.simulate_stream`."""
+    config = config or StreamConfig()
+    flow_graph.validate()
+    requirement = flow_graph.requirement
+    if len(requirement.services()) == 1:
+        # Degenerate single-service federation: no channels to simulate;
+        # the closed form is the simulation.
+        from repro.services.execution import simulate_stream
+
+        return simulate_stream(flow_graph, config)
+    env = Environment()
+    n = config.units
+
+    # Per edge: the buffer units wait in before transmission.
+    inboxes: Dict[Tuple[Sid, Sid], Store] = {}
+    # Per service: one arrival buffer per incoming edge.
+    arrivals: Dict[Tuple[Sid, Sid], Store] = {}
+    for edge in flow_graph.edges():
+        key = edge.requirement_edge
+        inboxes[key] = Store(env)
+        arrivals[key] = Store(env)
+
+    deliveries: Dict[Sid, List[float]] = {sink: [] for sink in requirement.sinks}
+    done = Event(env)
+    remaining_sinks = {sink: n for sink in requirement.sinks}
+
+    def source_process():
+        sid = requirement.source
+        delay = config.delay_for(sid)
+        for k in range(n):
+            target = k * config.emit_interval
+            if target > env.now:
+                yield env.timeout(target - env.now)
+            if delay:
+                yield env.timeout(delay)
+            for succ in requirement.successors(sid):
+                inboxes[(sid, succ)].put(k)
+
+    def edge_process(edge):
+        key = edge.requirement_edge
+        tx_time = config.unit_size / edge.quality.bandwidth
+        latency = edge.quality.latency
+        store = inboxes[key]
+        sink_store = arrivals[key]
+        while True:
+            unit = yield store.get()
+            yield env.timeout(tx_time)  # the channel is held for this long
+            # Propagation happens off-channel: deliver after `latency`
+            # without blocking the next transmission.
+            deliver = Event(env)
+            deliver.callbacks.append(
+                lambda _e, u=unit: sink_store.put(u)
+            )
+            deliver.succeed(delay=latency)
+
+    def service_process(sid):
+        delay = config.delay_for(sid)
+        preds = requirement.predecessors(sid)
+        succs = requirement.successors(sid)
+        for k in range(n):
+            for pred in preds:
+                unit = yield arrivals[(pred, sid)].get()
+                if unit != k:
+                    raise AssertionError(
+                        f"{sid} expected unit {k} from {pred}, got {unit}"
+                    )
+            if delay:
+                yield env.timeout(delay)
+            if succs:
+                for succ in succs:
+                    inboxes[(sid, succ)].put(k)
+            else:
+                deliveries[sid].append(env.now)
+                remaining_sinks[sid] -= 1
+                if (
+                    all(v == 0 for v in remaining_sinks.values())
+                    and not done.triggered
+                ):
+                    done.succeed()
+
+    env.process(source_process())
+    for edge in flow_graph.edges():
+        env.process(edge_process(edge))
+    for sid in requirement.topological_order()[1:]:
+        env.process(service_process(sid))
+
+    env.run(until=done)
+
+    delivery_tuples = {sid: tuple(times) for sid, times in deliveries.items()}
+    slowest_first = max(times[0] for times in delivery_tuples.values())
+    slowest_last = max(times[-1] for times in delivery_tuples.values())
+    if n > 1 and slowest_last > slowest_first:
+        throughput = (n - 1) / (slowest_last - slowest_first)
+    else:
+        throughput = math.inf
+    bottleneck = flow_graph.bottleneck_bandwidth()
+    predicted = (
+        bottleneck / config.unit_size if math.isfinite(bottleneck) else math.inf
+    )
+    return StreamReport(
+        units=n,
+        deliveries=delivery_tuples,
+        first_delivery=slowest_first,
+        last_delivery=slowest_last,
+        throughput=throughput,
+        predicted_throughput=predicted,
+    )

@@ -1,0 +1,142 @@
+"""Shared-resource primitives for the simulation kernel.
+
+The simpy-style counterparts needed to express contention in simulated
+systems:
+
+* :class:`Resource` -- ``capacity`` concurrent holders, FIFO queueing;
+  used by the DES data-plane executor to model service links that
+  transmit one data unit at a time.
+* :class:`Store` -- an unbounded (or bounded) FIFO buffer of items with
+  blocking ``get``; the building block for producer/consumer stages.
+
+Both hand out plain :class:`~repro.sim.engine.Event` objects, so processes
+compose them freely with timeouts and conditions::
+
+    def worker(env, resource):
+        request = resource.request()
+        yield request
+        try:
+            yield env.timeout(5)         # hold the resource
+        finally:
+            resource.release(request)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional, Set
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment, Event
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource`."""
+
+    def __init__(self, env: Environment, resource: "Resource") -> None:
+        super().__init__(env)
+        self.resource = resource
+
+
+class Resource:
+    """A capacity-limited resource with FIFO granting.
+
+    ``request()`` returns an event that fires once a slot is free;
+    ``release(request)`` frees the slot and wakes the next waiter.
+    Releasing an ungranted or foreign request is an error -- silent
+    double-releases are the classic simulation bug this guards against.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._holders: Set[Request] = set()
+        self._queue: Deque[Request] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently granted slots."""
+        return len(self._holders)
+
+    @property
+    def queued(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        """Claim a slot; the returned event fires when granted."""
+        req = Request(self.env, self)
+        if len(self._holders) < self.capacity:
+            self._holders.add(req)
+            req.succeed()
+        else:
+            self._queue.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a granted slot (wakes the next queued request)."""
+        if request.resource is not self:
+            raise SimulationError("request belongs to a different resource")
+        if request not in self._holders:
+            raise SimulationError("releasing a request that was never granted")
+        self._holders.discard(request)
+        if self._queue:
+            nxt = self._queue.popleft()
+            self._holders.add(nxt)
+            nxt.succeed()
+
+
+class Store:
+    """A FIFO item buffer with blocking ``get`` and optionally bounded ``put``.
+
+    With ``capacity=None`` (default) puts never block and complete
+    immediately; with a finite capacity, ``put`` returns an event that
+    fires once space is available.
+    """
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Event] = deque()
+        self._pending_items: Deque[Any] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Deposit ``item``; the returned event fires when accepted."""
+        event = Event(self.env)
+        if self._getters:
+            # Hand straight to a waiting consumer.
+            self._getters.popleft().succeed(item)
+            event.succeed()
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            event.succeed()
+        else:
+            self._putters.append(event)
+            self._pending_items.append(item)
+        return event
+
+    def get(self) -> Event:
+        """Take the oldest item; the returned event fires with it."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+            self._admit_pending()
+        else:
+            self._getters.append(event)
+        return event
+
+    def _admit_pending(self) -> None:
+        while self._putters and (
+            self.capacity is None or len(self._items) < self.capacity
+        ):
+            self._items.append(self._pending_items.popleft())
+            self._putters.popleft().succeed()

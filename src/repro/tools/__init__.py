@@ -1,0 +1,14 @@
+"""Command-line tools for working with scenarios and federations.
+
+* ``python -m repro.tools.federate`` -- federate a JSON scenario file with
+  any of the library's algorithms and write the flow graph back as JSON.
+* ``python -m repro.tools.make_scenario`` -- generate a seeded scenario
+  file for later federation (the producer half of the pipeline).
+
+Together they make the library scriptable without writing Python::
+
+    python -m repro.tools.make_scenario --size 20 --services 6 --seed 1 \
+        --out scenario.json
+    python -m repro.tools.federate scenario.json --algorithm sflow \
+        --out graph.json --stream 100
+"""

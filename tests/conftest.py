@@ -1,0 +1,104 @@
+"""Shared fixtures: small, fully-understood networks and scenarios.
+
+The fixtures here are deliberately tiny and hand-checkable; the heavier
+randomised cross-validation lives inside the individual test modules (and
+uses hypothesis where the input space is a data structure).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.network.metrics import PathQuality
+from repro.network.overlay import OverlayGraph, ServiceInstance
+from repro.network.underlay import Underlay, UnderlayConfig
+from repro.services.catalog import ServiceCatalog
+from repro.services.requirement import ServiceRequirement
+from repro.services.workloads import (
+    ScenarioConfig,
+    generate_scenario,
+    media_pipeline_scenario,
+    travel_agency_scenario,
+)
+
+
+@pytest.fixture
+def diamond_underlay() -> Underlay:
+    """Four hosts in a diamond: 0 -(wide/slow + narrow/fast)- 3.
+
+    ::
+
+        0 --(bw=10, lat=1)-- 1 --(bw=10, lat=1)-- 3
+        0 --(bw=50, lat=5)-- 2 --(bw=50, lat=5)-- 3
+
+    Shortest-widest 0->3 goes via 2 (bw 50, lat 10); plain shortest goes
+    via 1 (lat 2, bw 10).
+    """
+    net = Underlay(4)
+    net.add_link(0, 1, 10.0, 1.0)
+    net.add_link(1, 3, 10.0, 1.0)
+    net.add_link(0, 2, 50.0, 5.0)
+    net.add_link(2, 3, 50.0, 5.0)
+    return net
+
+
+@pytest.fixture
+def chain_requirement() -> ServiceRequirement:
+    return ServiceRequirement.from_path(["src", "mid", "dst"])
+
+
+@pytest.fixture
+def diamond_requirement() -> ServiceRequirement:
+    """A split-and-merge requirement: s -> {a, b} -> t."""
+    return ServiceRequirement(
+        edges=[("s", "a"), ("s", "b"), ("a", "t"), ("b", "t")]
+    )
+
+
+@pytest.fixture
+def small_overlay() -> OverlayGraph:
+    """Two instances per intermediate service on a hand-weighted overlay.
+
+    Requirement shape: ``src -> mid -> dst`` with instances ``mid/1``
+    (wide, slow) and ``mid/2`` (narrow, fast).
+    """
+    overlay = OverlayGraph()
+    src = ServiceInstance("src", 0)
+    mid1 = ServiceInstance("mid", 1)
+    mid2 = ServiceInstance("mid", 2)
+    dst = ServiceInstance("dst", 3)
+    overlay.add_link(src, mid1, PathQuality(50.0, 5.0))
+    overlay.add_link(src, mid2, PathQuality(10.0, 1.0))
+    overlay.add_link(mid1, dst, PathQuality(50.0, 5.0))
+    overlay.add_link(mid2, dst, PathQuality(10.0, 1.0))
+    return overlay
+
+
+@pytest.fixture
+def travel_scenario():
+    return travel_agency_scenario()
+
+
+@pytest.fixture
+def media_scenario():
+    return media_pipeline_scenario()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+def make_scenario(seed: int = 0, *, network_size: int = 14, n_services: int = 5,
+                  requirement_class=None):
+    """Helper (not a fixture) for tests that need many scenarios."""
+    return generate_scenario(
+        ScenarioConfig(
+            network_size=network_size,
+            n_services=n_services,
+            requirement_class=requirement_class,
+            seed=seed,
+        )
+    )

@@ -1,0 +1,152 @@
+"""Tests for the baseline algorithm (paper Table 1).
+
+Key property: for PATH requirements the baseline must equal exhaustive
+search under the (bottleneck bandwidth, critical latency) order.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.baseline import BaselineAlgorithm, solve_path_requirement
+from repro.errors import FederationError
+from repro.network.metrics import PathQuality
+from repro.network.overlay import OverlayGraph, ServiceInstance
+from repro.services.abstract_graph import AbstractGraph
+from repro.services.flowgraph import ServiceFlowGraph
+from repro.services.requirement import RequirementClass, ServiceRequirement
+from repro.services.workloads import ScenarioConfig, generate_scenario
+
+
+@pytest.fixture
+def chain_req():
+    return ServiceRequirement.from_path(["src", "mid", "dst"])
+
+
+class TestBasics:
+    def test_picks_wide_branch(self, chain_req, small_overlay):
+        graph, quality = solve_path_requirement(chain_req, small_overlay)
+        assert graph.instance_for("mid") == ServiceInstance("mid", 1)
+        assert quality == PathQuality(50.0, 10.0)
+        graph.validate()
+
+    def test_respects_pinned_source(self, chain_req, small_overlay):
+        graph, _ = solve_path_requirement(
+            chain_req, small_overlay, source_instance=ServiceInstance("src", 0)
+        )
+        assert graph.instance_for("src") == ServiceInstance("src", 0)
+
+    def test_bad_pinned_source_rejected(self, chain_req, small_overlay):
+        with pytest.raises(FederationError):
+            solve_path_requirement(
+                chain_req, small_overlay, source_instance=ServiceInstance("mid", 1)
+            )
+        with pytest.raises(FederationError):
+            solve_path_requirement(
+                chain_req,
+                small_overlay,
+                source_instance=ServiceInstance("src", 99),
+            )
+
+    def test_rejects_non_path_requirement(self, diamond_requirement, small_overlay):
+        with pytest.raises(FederationError, match="single service paths"):
+            solve_path_requirement(diamond_requirement, small_overlay)
+
+    def test_single_service_requirement(self, small_overlay):
+        req = ServiceRequirement(nodes=["mid"])
+        graph, quality = solve_path_requirement(req, small_overlay)
+        assert graph.is_complete()
+        assert quality.latency == 0.0
+
+    def test_no_path_raises(self):
+        overlay = OverlayGraph()
+        overlay.add_instance(ServiceInstance("a", 0))
+        overlay.add_instance(ServiceInstance("b", 1))
+        req = ServiceRequirement.from_path(["a", "b"])
+        with pytest.raises(FederationError, match="no usable abstract path"):
+            solve_path_requirement(req, overlay)
+
+    def test_reuses_prebuilt_abstract(self, chain_req, small_overlay):
+        abstract = AbstractGraph.build(chain_req, small_overlay)
+        graph, _ = solve_path_requirement(
+            chain_req, small_overlay, abstract=abstract
+        )
+        assert graph.is_complete()
+
+    def test_algorithm_wrapper(self, chain_req, small_overlay):
+        graph = BaselineAlgorithm().solve(chain_req, small_overlay)
+        assert graph.is_complete()
+        assert BaselineAlgorithm.name == "baseline"
+
+
+def brute_force_best(requirement, overlay):
+    """Exhaustive best quality over all complete assignments."""
+    abstract = AbstractGraph.build(requirement, overlay)
+    sids = requirement.services()
+    pools = [abstract.instances_of(s) for s in sids]
+    best = None
+    for combo in itertools.product(*pools):
+        assignment = dict(zip(sids, combo))
+        try:
+            graph = ServiceFlowGraph.realize(abstract, assignment)
+        except FederationError:
+            continue
+        quality = graph.quality()
+        if best is None or quality.is_better_than(best):
+            best = quality
+    return best
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_brute_force_on_random_paths(self, seed):
+        scenario = generate_scenario(
+            ScenarioConfig(
+                network_size=12,
+                n_services=5,
+                requirement_class=RequirementClass.PATH,
+                seed=seed,
+                single_source_instance=False,
+                instances_per_service=(2, 3),
+            )
+        )
+        graph, quality = solve_path_requirement(
+            scenario.requirement, scenario.overlay
+        )
+        expected = brute_force_best(scenario.requirement, scenario.overlay)
+        assert quality == expected
+        assert graph.quality() == expected
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_pinned_source_still_optimal(self, seed):
+        scenario = generate_scenario(
+            ScenarioConfig(
+                network_size=12,
+                n_services=4,
+                requirement_class=RequirementClass.PATH,
+                seed=seed,
+            )
+        )
+        graph, quality = solve_path_requirement(
+            scenario.requirement,
+            scenario.overlay,
+            source_instance=scenario.source_instance,
+        )
+        expected = brute_force_best(scenario.requirement, scenario.overlay)
+        # Single source instance -> pinning cannot change the optimum.
+        assert quality == expected
+
+    def test_flow_graph_quality_equals_reported_quality(self):
+        scenario = generate_scenario(
+            ScenarioConfig(
+                network_size=14,
+                n_services=6,
+                requirement_class=RequirementClass.PATH,
+                seed=99,
+            )
+        )
+        graph, quality = solve_path_requirement(
+            scenario.requirement, scenario.overlay
+        )
+        assert graph.quality() == quality

@@ -1,0 +1,182 @@
+"""Tests for runtime QoS monitoring and automatic repair."""
+
+import pytest
+
+from repro.core.monitor import MonitorConfig, MonitoredFederation
+from repro.network.failures import degrade_links, fail_instances
+from repro.services.workloads import travel_agency_scenario
+
+
+@pytest.fixture
+def scenario():
+    return travel_agency_scenario()
+
+
+def monitored(scenario, **config_kwargs):
+    return MonitoredFederation(
+        scenario.requirement,
+        scenario.overlay,
+        source_instance=scenario.source_instance,
+        config=MonitorConfig(**config_kwargs) if config_kwargs else None,
+    )
+
+
+class TestConfig:
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            MonitorConfig(probe_interval=0)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            MonitorConfig(bandwidth_threshold=0.0)
+        with pytest.raises(ValueError):
+            MonitorConfig(bandwidth_threshold=1.5)
+
+    def test_invalid_max_repairs(self):
+        with pytest.raises(ValueError):
+            MonitorConfig(max_repairs=-1)
+
+
+class TestQuietRun:
+    def test_stable_overlay_never_repairs(self, scenario):
+        fed = monitored(scenario)
+        report = fed.run(until=50)
+        assert report.repairs == 0
+        assert not report.events_of("violation")
+        assert len(report.timeline) == 10  # every 5 time units
+
+    def test_probes_observe_baseline(self, scenario):
+        fed = monitored(scenario)
+        baseline = fed.graph.bottleneck_bandwidth()
+        report = fed.run(until=20)
+        for _time, observed in report.timeline:
+            assert observed >= baseline  # probes may find better routes
+
+    def test_invalid_until(self, scenario):
+        fed = monitored(scenario)
+        with pytest.raises(ValueError):
+            fed.run(until=0)
+
+
+class TestDegradation:
+    def degrade_bottleneck(self, fed, factor):
+        graph = fed.graph
+        victims = [(e.src, e.dst) for e in graph.edges()]
+        live = [
+            (src, dst)
+            for src, dst in victims
+            if fed.overlay.link(src, dst) is not None
+        ]
+
+        def mutation(overlay):
+            targets = [
+                (src, dst) for src, dst in live
+                if overlay.link(src, dst) is not None
+            ]
+            return degrade_links(overlay, targets, bandwidth_factor=factor)
+
+        return mutation
+
+    def test_mild_degradation_tolerated(self, scenario):
+        fed = monitored(scenario, bandwidth_threshold=0.5)
+        fed.schedule_mutation(7.0, self.degrade_bottleneck(fed, 0.9), "mild")
+        report = fed.run(until=30)
+        assert report.repairs == 0
+
+    def test_severe_degradation_triggers_repair(self, scenario):
+        fed = monitored(scenario, bandwidth_threshold=0.7)
+        fed.schedule_mutation(
+            7.0, self.degrade_bottleneck(fed, 0.05), "severe"
+        )
+        report = fed.run(until=30)
+        assert report.repairs >= 1
+        first_violation = report.events_of("violation")[0]
+        assert first_violation.time == 10.0  # first probe after t=7
+        assert report.events_of("repair")
+
+    def test_repair_restores_quality(self, scenario):
+        fed = monitored(scenario, bandwidth_threshold=0.7)
+        before = fed.graph.bottleneck_bandwidth()
+        fed.schedule_mutation(
+            7.0, self.degrade_bottleneck(fed, 0.05), "severe"
+        )
+        report = fed.run(until=40)
+        # After the repair, observed bottleneck recovers to a healthy level
+        # (other instances/links were untouched).
+        post_repair_probes = [
+            obs
+            for time, obs in report.timeline
+            if time > report.events_of("repair")[0].time
+        ]
+        assert post_repair_probes
+        assert max(post_repair_probes) > 0.5 * before
+
+
+class TestInstanceFailure:
+    def test_assigned_instance_crash_triggers_repair(self, scenario):
+        fed = monitored(scenario)
+        victim = fed.graph.instance_for("hotel")
+        fed.schedule_mutation(
+            12.0, lambda overlay: fail_instances(overlay, [victim]), "crash"
+        )
+        report = fed.run(until=40)
+        assert report.repairs >= 1
+        assert fed.graph.instance_for("hotel") != victim
+        fed.graph.validate()
+
+    def test_unassigned_instance_crash_ignored(self, scenario):
+        fed = monitored(scenario)
+        assigned = set(fed.graph.assignment.values())
+        spare = next(
+            inst
+            for inst in scenario.overlay.instances_of("hotel")
+            if inst not in assigned
+        )
+        fed.schedule_mutation(
+            12.0, lambda overlay: fail_instances(overlay, [spare]), "spare crash"
+        )
+        report = fed.run(until=40)
+        assert report.repairs == 0
+
+    def test_max_repairs_respected(self, scenario):
+        fed = monitored(scenario, max_repairs=0)
+        victim = fed.graph.instance_for("hotel")
+        fed.schedule_mutation(
+            6.0, lambda overlay: fail_instances(overlay, [victim]), "crash"
+        )
+        report = fed.run(until=30)
+        assert report.repairs == 0
+        assert report.events_of("violation")  # detected but not acted on
+
+    def test_mutation_in_past_rejected(self, scenario):
+        fed = monitored(scenario)
+        fed.run(until=10)
+        with pytest.raises(ValueError):
+            fed.schedule_mutation(5.0, lambda overlay: overlay)
+
+    def test_unrepairable_failure_logged_not_fatal(self, scenario):
+        """When a service loses its *last* instance, repair cannot succeed;
+        the monitor must log repair_failed and keep running."""
+        fed = monitored(scenario)
+        victims = list(scenario.overlay.instances_of("hotel"))
+
+        def wipe_hotel(overlay):
+            present = [v for v in victims if v in overlay]
+            return fail_instances(overlay, present)
+
+        fed.schedule_mutation(8.0, wipe_hotel, "hotel extinct")
+        report = fed.run(until=30)
+        assert report.repairs == 0
+        assert report.events_of("repair_failed")
+        # The monitor survived to keep probing after the failure.
+        assert any(t > 10.0 for t, _ in report.timeline)
+
+    def test_event_log_is_chronological(self, scenario):
+        fed = monitored(scenario)
+        victim = fed.graph.instance_for("map")
+        fed.schedule_mutation(
+            8.0, lambda overlay: fail_instances(overlay, [victim]), "crash"
+        )
+        report = fed.run(until=30)
+        times = [e.time for e in report.events]
+        assert times == sorted(times)

@@ -1,0 +1,136 @@
+"""Tests for the service multicast tree (path merging) algorithm."""
+
+import pytest
+
+from repro.core.multicast import ServiceTreeAlgorithm
+from repro.core.optimal import optimal_flow_graph
+from repro.errors import FederationError
+from repro.network.metrics import PathQuality
+from repro.network.overlay import OverlayGraph, ServiceInstance
+from repro.services.requirement import RequirementClass, ServiceRequirement
+from repro.services.workloads import ScenarioConfig, generate_scenario
+
+
+class TestSpanningTree:
+    def test_tree_requirement_unchanged(self):
+        req = ServiceRequirement(edges=[("r", "a"), ("r", "b"), ("a", "c")])
+        algorithm = ServiceTreeAlgorithm()
+        parent = algorithm._spanning_tree(req)
+        assert parent == {"a": "r", "b": "r", "c": "a"}
+
+    def test_dag_keeps_first_parent(self, diamond_requirement):
+        parent = ServiceTreeAlgorithm._spanning_tree(diamond_requirement)
+        assert parent["t"] == "a"  # first (sorted) predecessor of t
+
+    def test_chains_longest_first(self):
+        req = ServiceRequirement(
+            edges=[("r", "a"), ("a", "leaf1"), ("r", "leaf2")]
+        )
+        parent = ServiceTreeAlgorithm._spanning_tree(req)
+        chains = ServiceTreeAlgorithm._root_to_sink_chains(req, parent)
+        assert chains[0] == ("r", "a", "leaf1")
+        assert chains[1] == ("r", "leaf2")
+
+
+class TestSolve:
+    def test_tree_requirement_complete(self):
+        scenario = generate_scenario(
+            ScenarioConfig(
+                network_size=14,
+                n_services=6,
+                requirement_class=RequirementClass.TREE,
+                seed=2,
+            )
+        )
+        graph = ServiceTreeAlgorithm().solve(
+            scenario.requirement,
+            scenario.overlay,
+            source_instance=scenario.source_instance,
+        )
+        assert graph.is_complete()
+
+    def test_dag_requirement_completes_via_spanning_tree(self, travel_scenario):
+        algorithm = ServiceTreeAlgorithm()
+        graph = algorithm.solve(
+            travel_scenario.requirement,
+            travel_scenario.overlay,
+            source_instance=travel_scenario.source_instance,
+        )
+        assert len(graph.assignment) == len(travel_scenario.requirement)
+        assert algorithm.last_tree  # spanning tree recorded
+
+    def test_bad_pinned_source_rejected(self, travel_scenario):
+        with pytest.raises(FederationError):
+            ServiceTreeAlgorithm().solve(
+                travel_scenario.requirement,
+                travel_scenario.overlay,
+                source_instance=ServiceInstance("travel_engine", 999),
+            )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_never_better_than_optimal(self, seed):
+        scenario = generate_scenario(
+            ScenarioConfig(
+                network_size=13,
+                n_services=6,
+                requirement_class=RequirementClass.TREE,
+                seed=seed,
+            )
+        )
+        optimal = optimal_flow_graph(
+            scenario.requirement,
+            scenario.overlay,
+            source_instance=scenario.source_instance,
+        )
+        graph = ServiceTreeAlgorithm().solve(
+            scenario.requirement,
+            scenario.overlay,
+            source_instance=scenario.source_instance,
+        )
+        assert not graph.quality().is_better_than(optimal.quality())
+
+    def test_greedy_merging_artifact(self):
+        """A hand-built tree where longest-path-first merging is provably
+        suboptimal: the long path pins a shared service to an instance that
+        strangles the short path."""
+        overlay = OverlayGraph()
+        r1 = ServiceInstance("r", 0)
+        s1 = ServiceInstance("s", 1)   # shared service, instance 1
+        s2 = ServiceInstance("s", 2)   # shared service, instance 2
+        a = ServiceInstance("a", 3)    # long-branch continuation
+        b = ServiceInstance("b", 4)    # short-branch leaf
+        # Long path r -> s -> a: s1 slightly better for it.
+        overlay.add_link(r1, s1, PathQuality(10.0, 1.0))
+        overlay.add_link(r1, s2, PathQuality(9.0, 1.0))
+        overlay.add_link(s1, a, PathQuality(10.0, 1.0))
+        overlay.add_link(s2, a, PathQuality(9.0, 1.0))
+        # Short path r -> s -> b: s1 is terrible, s2 great.
+        overlay.add_link(s1, b, PathQuality(1.0, 1.0))
+        overlay.add_link(s2, b, PathQuality(9.0, 1.0))
+        req = ServiceRequirement(edges=[("r", "s"), ("s", "a"), ("s", "b")])
+
+        tree_graph = ServiceTreeAlgorithm().solve(req, overlay)
+        optimal = optimal_flow_graph(req, overlay)
+        # The long chain r->s->a is federated first and pins s=s1 (10 > 9);
+        # the b leaf then suffers the 1.0 link.
+        assert tree_graph.instance_for("s") == s1
+        assert tree_graph.bottleneck_bandwidth() == 1.0
+        # The exact solver balances both branches through s2.
+        assert optimal.instance_for("s") == s2
+        assert optimal.bottleneck_bandwidth() == 9.0
+
+    def test_infeasible_chain_raises(self):
+        overlay = OverlayGraph()
+        overlay.add_instance(ServiceInstance("r", 0))
+        overlay.add_instance(ServiceInstance("x", 1))
+        req = ServiceRequirement(edges=[("r", "x")])
+        with pytest.raises(FederationError, match="breaks at"):
+            ServiceTreeAlgorithm().solve(req, overlay)
+
+    def test_deterministic(self, travel_scenario):
+        solve = lambda: ServiceTreeAlgorithm().solve(
+            travel_scenario.requirement,
+            travel_scenario.overlay,
+            source_instance=travel_scenario.source_instance,
+        ).assignment
+        assert solve() == solve()

@@ -1,0 +1,114 @@
+"""Tests for the global optimal branch-and-bound search."""
+
+import itertools
+
+import pytest
+
+from repro.core.optimal import GlobalOptimalAlgorithm, optimal_flow_graph
+from repro.errors import FederationError
+from repro.network.metrics import PathQuality
+from repro.network.overlay import OverlayGraph, ServiceInstance
+from repro.services.abstract_graph import AbstractGraph
+from repro.services.flowgraph import ServiceFlowGraph
+from repro.services.requirement import ServiceRequirement
+from repro.services.workloads import ScenarioConfig, generate_scenario
+
+
+def brute_force_best(requirement, overlay):
+    abstract = AbstractGraph.build(requirement, overlay)
+    sids = requirement.services()
+    pools = [abstract.instances_of(s) for s in sids]
+    best = None
+    for combo in itertools.product(*pools):
+        assignment = dict(zip(sids, combo))
+        try:
+            graph = ServiceFlowGraph.realize(abstract, assignment)
+        except FederationError:
+            continue
+        quality = graph.quality()
+        if best is None or quality.is_better_than(best):
+            best = quality
+    return best
+
+
+class TestOptimal:
+    def test_picks_wide_branch(self, small_overlay):
+        req = ServiceRequirement.from_path(["src", "mid", "dst"])
+        graph = optimal_flow_graph(req, small_overlay)
+        assert graph.instance_for("mid") == ServiceInstance("mid", 1)
+        assert graph.quality() == PathQuality(50.0, 10.0)
+
+    def test_infeasible_raises(self):
+        overlay = OverlayGraph()
+        overlay.add_instance(ServiceInstance("a", 0))
+        overlay.add_instance(ServiceInstance("b", 1))
+        req = ServiceRequirement(edges=[("a", "b")])
+        with pytest.raises(FederationError, match="no feasible"):
+            optimal_flow_graph(req, overlay)
+
+    def test_missing_instance_raises(self, small_overlay):
+        req = ServiceRequirement.from_path(["src", "ghost"])
+        with pytest.raises(FederationError, match="ghost"):
+            optimal_flow_graph(req, small_overlay)
+
+    def test_bad_pinned_source_rejected(self, small_overlay):
+        req = ServiceRequirement.from_path(["src", "mid", "dst"])
+        with pytest.raises(FederationError):
+            optimal_flow_graph(
+                req, small_overlay, source_instance=ServiceInstance("src", 77)
+            )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_brute_force_on_random_scenarios(self, seed):
+        scenario = generate_scenario(
+            ScenarioConfig(
+                network_size=12,
+                n_services=5,
+                seed=seed,
+                instances_per_service=(2, 3),
+            )
+        )
+        graph = optimal_flow_graph(scenario.requirement, scenario.overlay)
+        assert graph.quality() == brute_force_best(
+            scenario.requirement, scenario.overlay
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_pruning_explores_fewer_nodes_than_enumeration(self, seed):
+        scenario = generate_scenario(
+            ScenarioConfig(
+                network_size=14,
+                n_services=6,
+                seed=seed,
+                instances_per_service=(3, 3),
+            )
+        )
+        algorithm = GlobalOptimalAlgorithm()
+        algorithm.solve(scenario.requirement, scenario.overlay)
+        total_assignments = 1
+        for sid in scenario.requirement.services():
+            total_assignments *= len(scenario.overlay.instances_of(sid))
+        # Interior nodes add overhead, but pruning should still beat the
+        # sheer leaf count on these densely-replicated scenarios.
+        assert algorithm.last_nodes_explored < 4 * total_assignments
+
+    def test_deterministic(self):
+        scenario = generate_scenario(
+            ScenarioConfig(network_size=12, n_services=5, seed=7)
+        )
+        a = optimal_flow_graph(scenario.requirement, scenario.overlay)
+        b = optimal_flow_graph(scenario.requirement, scenario.overlay)
+        assert a.assignment == b.assignment
+
+    def test_algorithm_wrapper_counts_nodes(self, small_overlay):
+        req = ServiceRequirement.from_path(["src", "mid", "dst"])
+        algorithm = GlobalOptimalAlgorithm()
+        algorithm.solve(req, small_overlay)
+        assert algorithm.last_nodes_explored > 0
+        assert GlobalOptimalAlgorithm.name == "optimal"
+
+    def test_respects_pinned_source(self, small_overlay):
+        req = ServiceRequirement.from_path(["src", "mid", "dst"])
+        pinned = ServiceInstance("src", 0)
+        graph = optimal_flow_graph(req, small_overlay, source_instance=pinned)
+        assert graph.instance_for("src") == pinned

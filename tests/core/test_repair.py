@@ -1,0 +1,171 @@
+"""Tests for incremental flow-graph repair after failures."""
+
+import random
+
+import pytest
+
+from repro.core.optimal import optimal_flow_graph
+from repro.core.reductions import ReductionSolver
+from repro.core.repair import diagnose, repair_flow_graph
+from repro.errors import FederationError
+from repro.network.failures import (
+    FailureInjector,
+    fail_instances,
+    fail_links,
+)
+from repro.network.overlay import OverlayGraph, ServiceInstance
+from repro.services.requirement import ServiceRequirement
+from repro.services.workloads import (
+    ScenarioConfig,
+    generate_scenario,
+    travel_agency_scenario,
+)
+
+
+@pytest.fixture
+def federated():
+    scenario = travel_agency_scenario()
+    graph = ReductionSolver().solve(
+        scenario.requirement,
+        scenario.overlay,
+        source_instance=scenario.source_instance,
+    )
+    return scenario, graph
+
+
+class TestDiagnose:
+    def test_healthy_graph_has_no_broken_services(self, federated):
+        scenario, graph = federated
+        assert diagnose(graph, scenario.overlay) == frozenset()
+
+    def test_failed_instance_detected(self, federated):
+        scenario, graph = federated
+        victim = graph.instance_for("hotel")
+        after = fail_instances(scenario.overlay, [victim])
+        broken = diagnose(graph, after)
+        assert "hotel" in broken
+
+    def test_broken_edge_flags_both_endpoints(self):
+        overlay = OverlayGraph()
+        a = ServiceInstance("a", 0)
+        b = ServiceInstance("b", 1)
+        from repro.network.metrics import PathQuality
+
+        overlay.add_link(a, b, PathQuality(5, 1))
+        req = ServiceRequirement(edges=[("a", "b")])
+        graph = ReductionSolver().solve(req, overlay)
+        after = fail_links(overlay, [(a, b)])
+        assert diagnose(graph, after) == {"a", "b"}
+
+
+class TestRepair:
+    def test_noop_repair_preserves_everything(self, federated):
+        scenario, graph = federated
+        report = repair_flow_graph(graph, scenario.overlay)
+        assert report.preserved_fraction == 1.0
+        assert report.repaired_services == frozenset()
+        assert not report.full_refederation
+        assert report.graph.assignment == graph.assignment
+
+    def test_single_instance_failure_repaired_locally(self, federated):
+        scenario, graph = federated
+        victim = graph.instance_for("hotel")
+        after = fail_instances(scenario.overlay, [victim])
+        report = repair_flow_graph(graph, after)
+        report.graph.validate()
+        # The failed service moved to a surviving instance...
+        assert report.graph.instance_for("hotel") != victim
+        assert report.graph.instance_for("hotel") in after
+        # ...and everyone else stayed put.
+        assert report.preserved_fraction == 1.0
+        assert report.repaired_services == {"hotel"}
+
+    def test_repaired_graph_is_feasible_and_reasonable(self, federated):
+        scenario, graph = federated
+        victim = graph.instance_for("map")
+        after = fail_instances(scenario.overlay, [victim])
+        report = repair_flow_graph(graph, after)
+        fresh = ReductionSolver().solve(
+            scenario.requirement,
+            after,
+            source_instance=scenario.source_instance,
+        )
+        # Repair trades optimality for locality, but must stay feasible and
+        # can never beat the from-scratch solution.
+        assert report.graph.bottleneck_bandwidth() > 0
+        assert not report.graph.quality().is_better_than(fresh.quality())
+
+    def test_multiple_failures_repaired(self, federated):
+        scenario, graph = federated
+        injector = FailureInjector(
+            random.Random(3), protect=[scenario.source_instance]
+        )
+        plan = injector.instance_failures(scenario.overlay, count=3)
+        after = plan.apply(scenario.overlay)
+        report = repair_flow_graph(graph, after)
+        report.graph.validate()
+        for sid, inst in report.graph.assignment.items():
+            assert inst in after
+
+    def test_source_failure_requires_explicit_repin(self, federated):
+        scenario, graph = federated
+        # Kill the source instance: repair must still succeed if the caller
+        # supplies a replacement (here: none exists, so it must raise).
+        after = fail_instances(scenario.overlay, [scenario.source_instance])
+        with pytest.raises(FederationError):
+            repair_flow_graph(graph, after)
+
+    def test_widening_kicks_in_when_neighbourhood_is_dead(self):
+        """If the broken service's surviving instances are unreachable from
+        the pinned neighbours, the repair must widen its scope."""
+        from repro.network.metrics import PathQuality
+
+        overlay = OverlayGraph()
+        a = ServiceInstance("a", 0)
+        b1 = ServiceInstance("b", 1)
+        b2 = ServiceInstance("b", 2)
+        c1 = ServiceInstance("c", 3)
+        c2 = ServiceInstance("c", 4)
+        d = ServiceInstance("d", 5)
+        # Two parallel lanes: b1->c1 and b2->c2; no cross links.
+        overlay.add_link(a, b1, PathQuality(10, 1))
+        overlay.add_link(a, b2, PathQuality(5, 1))
+        overlay.add_link(b1, c1, PathQuality(10, 1))
+        overlay.add_link(b2, c2, PathQuality(5, 1))
+        overlay.add_link(c1, d, PathQuality(10, 1))
+        overlay.add_link(c2, d, PathQuality(5, 1))
+        req = ServiceRequirement(edges=[("a", "b"), ("b", "c"), ("c", "d")])
+        graph = ReductionSolver().solve(req, overlay)
+        assert graph.instance_for("b") == b1  # the wide lane wins
+        # Kill c1: the only other c (c2) is unreachable from pinned b1, so
+        # the repair must also unpin b and switch lanes.
+        after = fail_instances(overlay, [c1])
+        report = repair_flow_graph(graph, after)
+        report.graph.validate()
+        assert report.graph.instance_for("c") == c2
+        assert report.graph.instance_for("b") == b2
+        assert "b" in report.unpinned_services
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_failures_on_random_scenarios(self, seed):
+        scenario = generate_scenario(
+            ScenarioConfig(
+                network_size=16,
+                n_services=6,
+                seed=seed,
+                instances_per_service=(2, 3),
+            )
+        )
+        graph = ReductionSolver().solve(
+            scenario.requirement,
+            scenario.overlay,
+            source_instance=scenario.source_instance,
+        )
+        injector = FailureInjector(
+            random.Random(seed), protect=[scenario.source_instance]
+        )
+        plan = injector.instance_failures(scenario.overlay, count=2)
+        after = plan.apply(scenario.overlay)
+        report = repair_flow_graph(graph, after)
+        report.graph.validate()
+        assert 0.0 <= report.preserved_fraction <= 1.0

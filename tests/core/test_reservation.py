@@ -1,0 +1,167 @@
+"""Tests for multi-tenant admission control with bandwidth reservation."""
+
+import pytest
+
+from repro.core.reservation import ReservationManager
+from repro.errors import FederationError
+from repro.network.metrics import PathQuality
+from repro.network.overlay import OverlayGraph, ServiceInstance
+from repro.services.requirement import ServiceRequirement
+from repro.services.workloads import travel_agency_scenario
+
+
+@pytest.fixture
+def chain_req():
+    return ServiceRequirement.from_path(["src", "mid", "dst"])
+
+
+@pytest.fixture
+def manager(small_overlay):
+    return ReservationManager(small_overlay)
+
+
+SRC = ServiceInstance("src", 0)
+MID1 = ServiceInstance("mid", 1)  # wide lane (bw 50)
+MID2 = ServiceInstance("mid", 2)  # narrow lane (bw 10)
+DST = ServiceInstance("dst", 3)
+
+
+class TestAdmission:
+    def test_first_tenant_gets_wide_lane(self, manager, chain_req):
+        admission = manager.admit(chain_req, demand=20.0)
+        assert admission.flow_graph.instance_for("mid") == MID1
+        assert admission.demand == 20.0
+
+    def test_reservation_shrinks_residual_capacity(self, manager, chain_req):
+        manager.admit(chain_req, demand=20.0)
+        residual = manager.overlay.link_quality(SRC, MID1)
+        assert residual.bandwidth == pytest.approx(30.0)
+
+    def test_second_tenant_pushed_to_other_lane(self, manager, chain_req):
+        manager.admit(chain_req, demand=45.0)  # wide lane down to 5
+        second = manager.admit(chain_req, demand=8.0)
+        assert second.flow_graph.instance_for("mid") == MID2
+
+    def test_rejection_when_demand_unsustainable(self, manager, chain_req):
+        manager.admit(chain_req, demand=45.0)
+        manager.admit(chain_req, demand=9.0)  # narrow lane down to 1
+        with pytest.raises(FederationError, match="sustains only"):
+            manager.admit(chain_req, demand=6.0)
+
+    def test_rejection_reserves_nothing(self, manager, chain_req):
+        before = manager.overlay.link_quality(SRC, MID1).bandwidth
+        with pytest.raises(FederationError):
+            manager.admit(chain_req, demand=1000.0)
+        assert manager.overlay.link_quality(SRC, MID1).bandwidth == before
+        assert not manager.active_admissions
+
+    def test_invalid_demand_rejected(self, manager, chain_req):
+        with pytest.raises(ValueError):
+            manager.admit(chain_req, demand=0.0)
+
+    def test_fully_consumed_link_disappears(self, manager, chain_req):
+        manager.admit(chain_req, demand=50.0)  # eats the wide lane entirely
+        assert manager.overlay.link(SRC, MID1) is None
+        assert manager.overlay.link(SRC, MID2) is not None
+
+
+class TestRelease:
+    def test_release_restores_capacity(self, manager, chain_req):
+        admission = manager.admit(chain_req, demand=20.0)
+        manager.release(admission)
+        assert manager.overlay.link_quality(SRC, MID1).bandwidth == pytest.approx(50.0)
+        assert not manager.active_admissions
+
+    def test_release_restores_fully_consumed_links(self, manager, chain_req):
+        admission = manager.admit(chain_req, demand=50.0)
+        assert manager.overlay.link(SRC, MID1) is None
+        manager.release(admission)
+        assert manager.overlay.link_quality(SRC, MID1).bandwidth == pytest.approx(50.0)
+
+    def test_partial_release_keeps_other_reservations(self, manager, chain_req):
+        first = manager.admit(chain_req, demand=20.0)
+        second = manager.admit(chain_req, demand=10.0)
+        manager.release(first)
+        remaining = manager.overlay.link_quality(SRC, MID1).bandwidth
+        # Only the second tenant's 10 units stay reserved on the wide lane.
+        assert remaining == pytest.approx(40.0)
+        assert len(manager.active_admissions) == 1
+        assert manager.active_admissions[0].ticket == second.ticket
+
+    def test_double_release_rejected(self, manager, chain_req):
+        admission = manager.admit(chain_req, demand=5.0)
+        manager.release(admission)
+        with pytest.raises(FederationError):
+            manager.release(admission)
+
+    def test_admit_release_cycle_is_lossless(self, manager, chain_req):
+        snapshot = {
+            (l.src, l.dst): l.metrics
+            for inst in manager.overlay.instances()
+            for l in manager.overlay.out_links(inst)
+        }
+        for _ in range(3):
+            a = manager.admit(chain_req, demand=30.0)
+            manager.release(a)
+        after = {
+            (l.src, l.dst): l.metrics
+            for inst in manager.overlay.instances()
+            for l in manager.overlay.out_links(inst)
+        }
+        assert after == snapshot
+
+
+class TestSharedLinks:
+    def test_traversal_multiplicity(self):
+        """Two streams of one federation crossing the same overlay link
+        reserve it twice."""
+        overlay = OverlayGraph()
+        s = ServiceInstance("s", 0)
+        a = ServiceInstance("a", 1)
+        b = ServiceInstance("b", 2)
+        t = ServiceInstance("t", 3)
+        # Both branch edges a->t and b->t are realised via relays through
+        # the same physical corridor; emulate by a shared relay instance.
+        relay = ServiceInstance("relay", 9)
+        overlay.add_link(s, a, PathQuality(100, 1))
+        overlay.add_link(s, b, PathQuality(100, 1))
+        overlay.add_link(a, relay, PathQuality(100, 1))
+        overlay.add_link(b, relay, PathQuality(100, 1))
+        overlay.add_link(relay, t, PathQuality(100, 1))
+        req = ServiceRequirement(
+            edges=[("s", "a"), ("s", "b"), ("a", "t"), ("b", "t")]
+        )
+        manager = ReservationManager(overlay)
+        admission = manager.admit(req, demand=10.0)
+        shared = admission.reservations.get((relay, t), 0.0)
+        assert shared == pytest.approx(20.0)  # both branches traverse it
+        assert manager.overlay.link_quality(relay, t).bandwidth == pytest.approx(80.0)
+
+
+class TestRealScenario:
+    def test_sequential_tenants_until_saturation(self):
+        scenario = travel_agency_scenario()
+        manager = ReservationManager(scenario.overlay)
+        admitted = 0
+        while True:
+            try:
+                manager.admit(
+                    scenario.requirement,
+                    demand=5.0,
+                    source_instance=scenario.source_instance,
+                )
+                admitted += 1
+            except FederationError:
+                break
+            if admitted > 50:
+                pytest.fail("overlay never saturated")
+        assert admitted >= 1
+        # Releasing everything restores full admission capacity.
+        for admission in list(manager.active_admissions):
+            manager.release(admission)
+        again = manager.admit(
+            scenario.requirement,
+            demand=5.0,
+            source_instance=scenario.source_instance,
+        )
+        assert again.flow_graph.is_complete()

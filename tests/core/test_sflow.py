@@ -1,0 +1,306 @@
+"""Tests for the distributed sFlow algorithm.
+
+Covers the protocol mechanics (merge-wait, pin consistency, sink
+finalisation), the quality relative to the centralised solvers, the effect
+of the knowledge horizon, and the equivalence of ego-view and
+link-state-protocol knowledge models.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.optimal import optimal_flow_graph
+from repro.core.reductions import ReductionSolver
+from repro.core.sflow import SFlowAlgorithm, SFlowConfig
+from repro.errors import FederationError
+from repro.network.overlay import OverlayGraph, ServiceInstance
+from repro.services.requirement import RequirementClass, ServiceRequirement
+from repro.services.workloads import (
+    ScenarioConfig,
+    generate_scenario,
+    media_pipeline_scenario,
+    travel_agency_scenario,
+)
+
+
+class TestConfig:
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            SFlowConfig(horizon=-1)
+
+    def test_defaults(self):
+        config = SFlowConfig()
+        assert config.horizon == 2
+        assert config.pareto
+
+
+class TestProtocol:
+    def test_produces_complete_valid_graph(self, travel_scenario):
+        algorithm = SFlowAlgorithm()
+        graph = algorithm.solve(
+            travel_scenario.requirement,
+            travel_scenario.overlay,
+            source_instance=travel_scenario.source_instance,
+        )
+        assert graph.is_complete()
+        graph.validate()
+
+    def test_source_instance_respected(self, travel_scenario):
+        graph = SFlowAlgorithm().solve(
+            travel_scenario.requirement,
+            travel_scenario.overlay,
+            source_instance=travel_scenario.source_instance,
+        )
+        assert graph.instance_for("travel_engine") == travel_scenario.source_instance
+
+    def test_default_source_is_first_instance(self, travel_scenario):
+        graph = SFlowAlgorithm().solve(
+            travel_scenario.requirement, travel_scenario.overlay
+        )
+        assert graph.instance_for("travel_engine") == (
+            travel_scenario.overlay.instances_of("travel_engine")[0]
+        )
+
+    def test_result_metrics_populated(self, travel_scenario):
+        algorithm = SFlowAlgorithm()
+        algorithm.solve(
+            travel_scenario.requirement,
+            travel_scenario.overlay,
+            source_instance=travel_scenario.source_instance,
+        )
+        result = algorithm.last_result
+        assert result.messages >= len(travel_scenario.requirement.edges())
+        assert result.bytes > result.messages  # sfederate messages have size
+        assert result.convergence_time > 0
+        assert result.node_activations >= len(travel_scenario.requirement) - 1
+        assert result.local_compute_seconds > 0
+
+    def test_convergence_time_is_critical_message_path(self, travel_scenario):
+        """Messages travel realised edges, so the sink finishes exactly when
+        the slowest chain of sfederate hops arrives."""
+        algorithm = SFlowAlgorithm()
+        graph = algorithm.solve(
+            travel_scenario.requirement,
+            travel_scenario.overlay,
+            source_instance=travel_scenario.source_instance,
+        )
+        assert algorithm.last_result.convergence_time == pytest.approx(
+            graph.end_to_end_latency()
+        )
+
+    def test_deterministic(self, travel_scenario):
+        def run():
+            return SFlowAlgorithm().solve(
+                travel_scenario.requirement,
+                travel_scenario.overlay,
+                source_instance=travel_scenario.source_instance,
+            ).assignment
+
+        assert run() == run()
+
+    def test_message_count_equals_requirement_edges_plus_initial(
+        self, travel_scenario
+    ):
+        algorithm = SFlowAlgorithm()
+        algorithm.solve(
+            travel_scenario.requirement,
+            travel_scenario.overlay,
+            source_instance=travel_scenario.source_instance,
+        )
+        # One sfederate per requirement edge plus the consumer's initial one.
+        assert algorithm.last_result.messages == len(
+            travel_scenario.requirement.edges()
+        ) + 1
+
+    def test_missing_instance_raises(self, travel_scenario):
+        requirement = ServiceRequirement(
+            edges=[("travel_engine", "ghost")]
+        )
+        with pytest.raises(FederationError, match="ghost"):
+            SFlowAlgorithm().solve(requirement, travel_scenario.overlay)
+
+    def test_path_requirement_works(self):
+        scenario = generate_scenario(
+            ScenarioConfig(
+                network_size=12,
+                n_services=5,
+                requirement_class=RequirementClass.PATH,
+                seed=2,
+            )
+        )
+        graph = SFlowAlgorithm().solve(
+            scenario.requirement,
+            scenario.overlay,
+            source_instance=scenario.source_instance,
+        )
+        assert graph.is_complete()
+
+    def test_multi_sink_requirement_works(self):
+        scenario = generate_scenario(
+            ScenarioConfig(
+                network_size=12,
+                n_services=6,
+                requirement_class=RequirementClass.TREE,
+                seed=3,
+            )
+        )
+        graph = SFlowAlgorithm().solve(
+            scenario.requirement,
+            scenario.overlay,
+            source_instance=scenario.source_instance,
+        )
+        assert graph.is_complete()
+
+    def test_single_service_requirement(self, travel_scenario):
+        requirement = ServiceRequirement(nodes=["travel_engine"])
+        graph = SFlowAlgorithm().solve(
+            requirement,
+            travel_scenario.overlay,
+            source_instance=travel_scenario.source_instance,
+        )
+        assert graph.is_complete()
+
+    def test_merge_services_get_single_consistent_instance(self):
+        """All branches must deliver to the same merge instance (pins from
+        the dominating split node)."""
+        for seed in range(6):
+            scenario = generate_scenario(
+                ScenarioConfig(
+                    network_size=14,
+                    n_services=7,
+                    requirement_class=RequirementClass.SPLIT_MERGE,
+                    seed=seed,
+                )
+            )
+            graph = SFlowAlgorithm().solve(
+                scenario.requirement,
+                scenario.overlay,
+                source_instance=scenario.source_instance,
+            )
+            graph.validate()  # conflicting merges would fail construction
+
+
+class TestQuality:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_never_better_than_optimal(self, seed):
+        scenario = generate_scenario(
+            ScenarioConfig(network_size=13, n_services=6, seed=seed)
+        )
+        optimal = optimal_flow_graph(
+            scenario.requirement,
+            scenario.overlay,
+            source_instance=scenario.source_instance,
+        )
+        graph = SFlowAlgorithm().solve(
+            scenario.requirement,
+            scenario.overlay,
+            source_instance=scenario.source_instance,
+        )
+        assert not graph.quality().is_better_than(optimal.quality())
+
+    def test_full_knowledge_matches_centralised_reducer(self):
+        """With an unbounded horizon every node sees the whole overlay, so
+        the distributed run reproduces the centralised solution quality."""
+        scenario = travel_agency_scenario()
+        sflow = SFlowAlgorithm(SFlowConfig(horizon=100))
+        graph = sflow.solve(
+            scenario.requirement,
+            scenario.overlay,
+            source_instance=scenario.source_instance,
+        )
+        central = ReductionSolver().solve(
+            scenario.requirement,
+            scenario.overlay,
+            source_instance=scenario.source_instance,
+        )
+        assert graph.quality().bandwidth == pytest.approx(
+            central.quality().bandwidth
+        )
+
+    def test_correctness_reasonable_at_default_horizon(self):
+        total = 0.0
+        trials = 10
+        for seed in range(trials):
+            scenario = generate_scenario(
+                ScenarioConfig(network_size=15, n_services=6, seed=seed)
+            )
+            optimal = optimal_flow_graph(
+                scenario.requirement,
+                scenario.overlay,
+                source_instance=scenario.source_instance,
+            )
+            graph = SFlowAlgorithm().solve(
+                scenario.requirement,
+                scenario.overlay,
+                source_instance=scenario.source_instance,
+            )
+            total += graph.correctness_coefficient(optimal)
+        assert total / trials >= 0.7  # paper reports >= 0.9 on its workloads
+
+    def test_wider_horizon_never_reduces_mean_correctness(self):
+        def mean_correctness(horizon):
+            total = 0.0
+            trials = 8
+            for seed in range(trials):
+                scenario = generate_scenario(
+                    ScenarioConfig(network_size=14, n_services=6, seed=seed)
+                )
+                optimal = optimal_flow_graph(
+                    scenario.requirement,
+                    scenario.overlay,
+                    source_instance=scenario.source_instance,
+                )
+                graph = SFlowAlgorithm(SFlowConfig(horizon=horizon)).solve(
+                    scenario.requirement,
+                    scenario.overlay,
+                    source_instance=scenario.source_instance,
+                )
+                total += graph.correctness_coefficient(optimal)
+            return total / trials
+
+        narrow = mean_correctness(1)
+        wide = mean_correctness(4)
+        assert wide >= narrow - 0.05  # allow small heuristic noise
+
+
+class TestKnowledgeModels:
+    def test_link_state_views_give_same_result(self, media_scenario):
+        ego = SFlowAlgorithm(SFlowConfig(horizon=2, use_link_state=False))
+        lsa = SFlowAlgorithm(SFlowConfig(horizon=2, use_link_state=True))
+        graph_ego = ego.solve(
+            media_scenario.requirement,
+            media_scenario.overlay,
+            source_instance=media_scenario.source_instance,
+        )
+        graph_lsa = lsa.solve(
+            media_scenario.requirement,
+            media_scenario.overlay,
+            source_instance=media_scenario.source_instance,
+        )
+        assert graph_ego.assignment == graph_lsa.assignment
+        assert lsa.last_result.link_state_messages > 0
+        assert ego.last_result.link_state_messages == 0
+
+    def test_horizon_zero_still_terminates(self, media_scenario):
+        graph = SFlowAlgorithm(SFlowConfig(horizon=0)).solve(
+            media_scenario.requirement,
+            media_scenario.overlay,
+            source_instance=media_scenario.source_instance,
+        )
+        assert len(graph.assignment) == len(media_scenario.requirement)
+
+    def test_per_node_compute_recorded(self, media_scenario):
+        algorithm = SFlowAlgorithm()
+        algorithm.solve(
+            media_scenario.requirement,
+            media_scenario.overlay,
+            source_instance=media_scenario.source_instance,
+        )
+        result = algorithm.last_result
+        assert result.per_node_compute
+        assert all(t >= 0 for t in result.per_node_compute.values())
+        assert sum(result.per_node_compute.values()) == pytest.approx(
+            result.local_compute_seconds
+        )

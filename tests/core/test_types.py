@@ -1,0 +1,80 @@
+"""Tests for the common algorithm types and timing wrapper."""
+
+import pytest
+
+from repro.core.alternatives import FixedAlgorithm
+from repro.core.sflow import SFlowAlgorithm
+from repro.core.types import FederationAlgorithm, FederationResult, timed_solve
+from repro.services.workloads import travel_agency_scenario
+
+
+@pytest.fixture
+def scenario():
+    return travel_agency_scenario()
+
+
+class TestProtocol:
+    def test_algorithms_satisfy_protocol(self):
+        from repro.core.baseline import BaselineAlgorithm
+        from repro.core.multicast import ServiceTreeAlgorithm
+        from repro.core.optimal import GlobalOptimalAlgorithm
+        from repro.core.reductions import ReductionSolver
+
+        for algorithm in (
+            BaselineAlgorithm(),
+            FixedAlgorithm(),
+            GlobalOptimalAlgorithm(),
+            ReductionSolver(),
+            SFlowAlgorithm(),
+            ServiceTreeAlgorithm(),
+        ):
+            assert isinstance(algorithm, FederationAlgorithm)
+            assert isinstance(algorithm.name, str) and algorithm.name
+
+
+class TestTimedSolve:
+    def test_result_fields(self, scenario):
+        result = timed_solve(
+            FixedAlgorithm(),
+            scenario.requirement,
+            scenario.overlay,
+            source_instance=scenario.source_instance,
+        )
+        assert isinstance(result, FederationResult)
+        assert result.algorithm == "fixed"
+        assert result.elapsed_seconds > 0
+        assert result.bandwidth == result.flow_graph.bottleneck_bandwidth()
+        assert result.latency == result.flow_graph.end_to_end_latency()
+
+    def test_sflow_detail_attached(self, scenario):
+        result = timed_solve(
+            SFlowAlgorithm(),
+            scenario.requirement,
+            scenario.overlay,
+            source_instance=scenario.source_instance,
+        )
+        detail = result.extras.get("detail")
+        assert detail is not None
+        assert detail.messages > 0
+
+    def test_plain_algorithm_has_no_detail(self, scenario):
+        result = timed_solve(
+            FixedAlgorithm(),
+            scenario.requirement,
+            scenario.overlay,
+            source_instance=scenario.source_instance,
+        )
+        assert "detail" not in result.extras
+
+
+class TestLazySimAttr:
+    def test_simulate_stream_des_lazy_import(self):
+        import repro.sim as sim
+
+        assert callable(sim.simulate_stream_des)
+
+    def test_unknown_attribute_raises(self):
+        import repro.sim as sim
+
+        with pytest.raises(AttributeError):
+            sim.definitely_not_a_thing

@@ -1,0 +1,134 @@
+"""Tests for the experiment sweeps."""
+
+import math
+
+import pytest
+
+from repro.eval.experiments import (
+    ALGORITHMS,
+    EvaluationConfig,
+    aggregate,
+    run_evaluation,
+    run_scalability,
+    run_trial,
+)
+from repro.services.requirement import RequirementClass
+from repro.services.workloads import ScenarioConfig, generate_scenario
+
+SMALL = EvaluationConfig(network_sizes=(10, 14), trials=2, n_services=5, seed=1)
+
+
+@pytest.fixture(scope="module")
+def records():
+    return run_evaluation(SMALL)
+
+
+class TestConfig:
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ValueError):
+            EvaluationConfig(trials=0)
+
+    def test_empty_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            EvaluationConfig(network_sizes=())
+
+    def test_instance_scaling(self):
+        config = EvaluationConfig(n_services=5)
+        lo, hi = config.instance_range(20)
+        assert lo <= 20 / 5 <= hi
+
+    def test_static_instances_when_scaling_off(self):
+        config = EvaluationConfig(
+            scale_instances=False, instances_per_service=(2, 2)
+        )
+        assert config.instance_range(50) == (2, 2)
+
+
+class TestRunTrial:
+    def test_records_for_all_algorithms(self):
+        scenario = generate_scenario(
+            ScenarioConfig(network_size=12, n_services=5, seed=0)
+        )
+        records = run_trial(scenario)
+        assert sorted(r.algorithm for r in records) == sorted(ALGORITHMS)
+
+    def test_optimal_scores_perfect_correctness(self):
+        scenario = generate_scenario(
+            ScenarioConfig(network_size=12, n_services=5, seed=0)
+        )
+        records = run_trial(scenario)
+        optimal = next(r for r in records if r.algorithm == "optimal")
+        assert optimal.correctness == 1.0
+        assert optimal.feasible
+
+    def test_correctness_bounded(self):
+        scenario = generate_scenario(
+            ScenarioConfig(network_size=12, n_services=5, seed=1)
+        )
+        for rec in run_trial(scenario):
+            assert 0.0 <= rec.correctness <= 1.0
+
+    def test_sflow_has_message_metrics(self):
+        scenario = generate_scenario(
+            ScenarioConfig(network_size=12, n_services=5, seed=2)
+        )
+        records = run_trial(scenario)
+        sflow = next(r for r in records if r.algorithm == "sflow")
+        assert sflow.messages > 0
+        assert sflow.convergence_time > 0
+
+    def test_non_sflow_has_no_message_metrics(self):
+        scenario = generate_scenario(
+            ScenarioConfig(network_size=12, n_services=5, seed=2)
+        )
+        records = run_trial(scenario)
+        fixed = next(r for r in records if r.algorithm == "fixed")
+        assert fixed.messages == 0
+
+
+class TestSweeps:
+    def test_record_count(self, records):
+        assert len(records) == 2 * 2 * len(ALGORITHMS)
+
+    def test_deterministic(self, records):
+        again = run_evaluation(SMALL)
+        key = lambda r: (r.network_size, r.trial, r.algorithm)
+        assert sorted(
+            (r.network_size, r.algorithm, r.bandwidth, r.correctness)
+            for r in records
+        ) == sorted(
+            (r.network_size, r.algorithm, r.bandwidth, r.correctness)
+            for r in again
+        )
+
+    def test_all_sizes_present(self, records):
+        assert {r.network_size for r in records} == {10, 14}
+
+    def test_scalability_uses_path_requirements(self):
+        records = run_scalability(SMALL)
+        assert all(
+            r.requirement_class in ("path", "single") for r in records
+        )
+
+    def test_sflow_never_beats_optimal_bandwidth(self, records):
+        by_key = {}
+        for rec in records:
+            by_key.setdefault((rec.network_size, rec.trial), {})[
+                rec.algorithm
+            ] = rec
+        for group in by_key.values():
+            assert group["sflow"].bandwidth <= group["optimal"].bandwidth + 1e-9
+
+
+class TestAggregate:
+    def test_groups_by_size_and_algorithm(self, records):
+        table = aggregate(records, "correctness", feasible_only=False)
+        assert (10, "sflow") in table
+        assert (14, "optimal") in table
+
+    def test_feasible_only_drops_failures(self, records):
+        loose = aggregate(records, "latency", feasible_only=False)
+        strict = aggregate(records, "latency", feasible_only=True)
+        # Strict aggregation never contains infinities.
+        assert all(math.isfinite(v) for v in strict.values())
+        assert set(strict) <= set(loose)

@@ -1,0 +1,162 @@
+"""Tests for the figure regeneration tables and CLI."""
+
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.eval.experiments import EvaluationConfig, run_evaluation
+from repro.eval.figures import (
+    ALL_FIGURES,
+    FigureTable,
+    fig10a,
+    fig10b,
+    fig10c,
+    fig10d,
+    format_chart,
+    format_table,
+    main,
+    write_csv,
+)
+
+CONFIG = EvaluationConfig(network_sizes=(10, 14), trials=2, n_services=5, seed=2)
+
+
+@pytest.fixture(scope="module")
+def shared_records():
+    return run_evaluation(CONFIG)
+
+
+class TestFigureTables:
+    def test_fig10a_series(self, shared_records):
+        table = fig10a(CONFIG, records=shared_records)
+        assert table.sizes == (10, 14)
+        assert set(table.series) == {"sflow", "fixed", "random", "service_path"}
+        for values in table.series.values():
+            assert len(values) == 2
+
+    def test_fig10a_correctness_in_unit_interval(self, shared_records):
+        table = fig10a(CONFIG, records=shared_records)
+        for values in table.series.values():
+            for v in values:
+                assert math.isnan(v) or 0.0 <= v <= 1.0
+
+    def test_fig10b_series(self):
+        table = fig10b(CONFIG)
+        assert set(table.series) == {"sflow", "optimal"}
+        for values in table.series.values():
+            assert all(v > 0 for v in values)
+
+    def test_fig10c_series(self, shared_records):
+        table = fig10c(CONFIG, records=shared_records)
+        assert set(table.series) == {"sflow", "fixed", "random", "service_path"}
+
+    def test_fig10d_series(self, shared_records):
+        table = fig10d(CONFIG, records=shared_records)
+        assert set(table.series) == {"optimal", "sflow", "fixed", "random"}
+        # Optimal dominates everyone in mean bandwidth.
+        for alg in ("sflow", "fixed", "random"):
+            for opt, other in zip(table.series["optimal"], table.series[alg]):
+                assert opt >= other - 1e-9
+
+    def test_row_accessor(self, shared_records):
+        table = fig10a(CONFIG, records=shared_records)
+        row = table.row(10)
+        assert set(row) == set(table.series)
+
+
+class TestRendering:
+    def test_format_table_contains_all_cells(self, shared_records):
+        table = fig10a(CONFIG, records=shared_records)
+        text = format_table(table)
+        assert "fig10a" in text
+        assert "Network Size" in text
+        assert "sflow" in text
+        assert str(table.sizes[0]) in text
+
+    def test_write_csv(self, shared_records, tmp_path):
+        table = fig10a(CONFIG, records=shared_records)
+        path = write_csv(table, tmp_path)
+        content = path.read_text().splitlines()
+        assert content[0].startswith("network_size")
+        assert len(content) == 1 + len(table.sizes)
+
+    def test_format_chart_renders_all_series(self, shared_records):
+        table = fig10a(CONFIG, records=shared_records)
+        chart = format_chart(table)
+        assert table.title in chart
+        assert "legend:" in chart
+        for name in table.series:
+            assert name in chart
+        # Axis labels present.
+        assert table.xlabel in chart
+        for size in table.sizes:
+            assert str(size) in chart
+
+    def test_format_chart_rejects_tiny_canvas(self, shared_records):
+        table = fig10a(CONFIG, records=shared_records)
+        with pytest.raises(ValueError):
+            format_chart(table, width=5)
+        with pytest.raises(ValueError):
+            format_chart(table, height=2)
+
+    def test_format_chart_handles_no_finite_data(self):
+        table = FigureTable(
+            figure="figX",
+            title="empty",
+            xlabel="x",
+            ylabel="y",
+            sizes=(10, 20),
+            series={"a": (math.nan, math.inf)},
+        )
+        assert "no finite data" in format_chart(table)
+
+    def test_format_chart_constant_series(self):
+        table = FigureTable(
+            figure="figY",
+            title="flat",
+            xlabel="x",
+            ylabel="y",
+            sizes=(10, 20, 30),
+            series={"a": (1.0, 1.0, 1.0)},
+        )
+        chart = format_chart(table)
+        assert chart.count("a") >= 3  # the points plus the legend
+
+
+class TestCli:
+    def test_single_figure(self, capsys, tmp_path):
+        code = main(
+            [
+                "fig10b",
+                "--trials", "1",
+                "--sizes", "10",
+                "--services", "4",
+                "--csv", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig10b" in out
+        assert (tmp_path / "fig10b.csv").exists()
+
+    def test_all_figures_registered(self):
+        assert set(ALL_FIGURES) == {"fig10a", "fig10b", "fig10c", "fig10d"}
+
+    def test_chart_flag(self, capsys):
+        code = main(
+            [
+                "fig10b",
+                "--trials", "1",
+                "--sizes", "10",
+                "--services", "4",
+                "--chart",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

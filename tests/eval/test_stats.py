@@ -1,0 +1,64 @@
+"""Tests for the statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.eval.stats import confidence_interval_95, finite, mean, sample_stdev
+
+floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestMean:
+    def test_simple(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_empty_is_nan(self):
+        assert math.isnan(mean([]))
+
+    @given(st.lists(floats, min_size=1, max_size=50))
+    def test_mean_within_range(self, values):
+        m = mean(values)
+        assert min(values) - 1e-9 <= m <= max(values) + 1e-9
+
+
+class TestStdev:
+    def test_known_value(self):
+        assert sample_stdev([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.138, abs=1e-3)
+
+    def test_single_sample_nan(self):
+        assert math.isnan(sample_stdev([5]))
+
+    def test_constant_data_zero(self):
+        assert sample_stdev([3, 3, 3]) == 0.0
+
+    @given(st.lists(floats, min_size=2, max_size=50))
+    def test_nonnegative(self, values):
+        assert sample_stdev(values) >= 0.0
+
+
+class TestConfidenceInterval:
+    def test_contains_mean(self):
+        low, high = confidence_interval_95([1, 2, 3, 4, 5])
+        assert low <= 3.0 <= high
+
+    def test_single_sample_degenerate(self):
+        assert confidence_interval_95([7]) == (7, 7)
+
+    def test_empty_is_nan(self):
+        low, high = confidence_interval_95([])
+        assert math.isnan(low) and math.isnan(high)
+
+    @given(st.lists(floats, min_size=2, max_size=50))
+    def test_interval_ordered(self, values):
+        low, high = confidence_interval_95(values)
+        assert low <= high
+
+
+class TestFinite:
+    def test_filters_nan_and_inf(self):
+        assert finite([1.0, math.nan, math.inf, -math.inf, 2.0]) == [1.0, 2.0]
+
+    def test_empty(self):
+        assert finite([]) == []

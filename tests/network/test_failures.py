@@ -1,0 +1,163 @@
+"""Tests for the failure and churn models."""
+
+import random
+
+import pytest
+
+from repro.errors import SFlowError
+from repro.network.failures import (
+    FailureInjector,
+    FailurePlan,
+    degrade_links,
+    fail_instances,
+    fail_links,
+)
+from repro.network.overlay import ServiceInstance
+from repro.services.workloads import travel_agency_scenario
+
+
+@pytest.fixture
+def overlay(small_overlay):
+    return small_overlay
+
+
+SRC = ServiceInstance("src", 0)
+MID1 = ServiceInstance("mid", 1)
+MID2 = ServiceInstance("mid", 2)
+DST = ServiceInstance("dst", 3)
+
+
+class TestFailInstances:
+    def test_removes_instance_and_links(self, overlay):
+        after = fail_instances(overlay, [MID1])
+        assert MID1 not in after
+        assert after.link(SRC, MID1) is None
+        assert after.link(SRC, MID2) is not None
+
+    def test_original_untouched(self, overlay):
+        before_links = overlay.num_links()
+        fail_instances(overlay, [MID1])
+        assert overlay.num_links() == before_links
+        assert MID1 in overlay
+
+    def test_unknown_instance_rejected(self, overlay):
+        with pytest.raises(KeyError):
+            fail_instances(overlay, [ServiceInstance("ghost", 9)])
+
+    def test_empty_failure_is_identity(self, overlay):
+        after = fail_instances(overlay, [])
+        assert len(after) == len(overlay)
+        assert after.num_links() == overlay.num_links()
+
+
+class TestFailLinks:
+    def test_removes_only_named_link(self, overlay):
+        after = fail_links(overlay, [(SRC, MID1)])
+        assert after.link(SRC, MID1) is None
+        assert after.link(MID1, DST) is not None
+        assert len(after) == len(overlay)  # instances survive
+
+    def test_unknown_link_rejected(self, overlay):
+        with pytest.raises(KeyError):
+            fail_links(overlay, [(SRC, DST)])
+
+
+class TestDegradeLinks:
+    def test_scales_bandwidth_and_latency(self, overlay):
+        after = degrade_links(
+            overlay, [(SRC, MID1)], bandwidth_factor=0.5, latency_factor=2.0
+        )
+        original = overlay.link(SRC, MID1).metrics
+        degraded = after.link(SRC, MID1).metrics
+        assert degraded.bandwidth == original.bandwidth * 0.5
+        assert degraded.latency == original.latency * 2.0
+
+    def test_other_links_untouched(self, overlay):
+        after = degrade_links(overlay, [(SRC, MID1)], bandwidth_factor=0.1)
+        assert after.link(SRC, MID2).metrics == overlay.link(SRC, MID2).metrics
+
+    def test_invalid_factors_rejected(self, overlay):
+        with pytest.raises(ValueError):
+            degrade_links(overlay, [(SRC, MID1)], bandwidth_factor=0.0)
+        with pytest.raises(ValueError):
+            degrade_links(overlay, [(SRC, MID1)], latency_factor=0.5)
+
+    def test_unknown_link_rejected(self, overlay):
+        with pytest.raises(KeyError):
+            degrade_links(overlay, [(SRC, DST)])
+
+
+class TestFailurePlan:
+    def test_apply_combines_links_and_instances(self, overlay):
+        plan = FailurePlan(
+            failed_instances=(MID1,), failed_links=((SRC, MID2),)
+        )
+        after = plan.apply(overlay)
+        assert MID1 not in after
+        assert after.link(SRC, MID2) is None
+
+    def test_empty_plan(self, overlay):
+        plan = FailurePlan()
+        assert plan.empty
+        after = plan.apply(overlay)
+        assert len(after) == len(overlay)
+
+
+class TestFailureInjector:
+    def test_respects_protection(self):
+        scenario = travel_agency_scenario()
+        injector = FailureInjector(
+            random.Random(0), protect=[scenario.source_instance]
+        )
+        plan = injector.instance_failures(scenario.overlay, count=100)
+        assert scenario.source_instance not in plan.failed_instances
+
+    def test_keeps_every_service_alive(self):
+        scenario = travel_agency_scenario()
+        injector = FailureInjector(random.Random(1))
+        plan = injector.instance_failures(scenario.overlay, count=100)
+        after = plan.apply(scenario.overlay)
+        for sid in scenario.requirement.services():
+            assert after.instances_of(sid), f"service {sid} went extinct"
+
+    def test_kill_switch_disables_keep_alive(self):
+        scenario = travel_agency_scenario()
+        injector = FailureInjector(random.Random(1), keep_service_alive=False)
+        plan = injector.instance_failures(scenario.overlay, count=1000)
+        after = plan.apply(scenario.overlay)
+        assert len(after) == 0
+
+    def test_deterministic_in_seed(self):
+        scenario = travel_agency_scenario()
+        plans = [
+            FailureInjector(random.Random(7)).instance_failures(
+                scenario.overlay, count=3
+            )
+            for _ in range(2)
+        ]
+        assert plans[0] == plans[1]
+
+    def test_link_failures_bounded_by_count(self):
+        scenario = travel_agency_scenario()
+        injector = FailureInjector(random.Random(2))
+        plan = injector.link_failures(scenario.overlay, count=5)
+        assert len(plan.failed_links) == 5
+
+    def test_negative_counts_rejected(self):
+        scenario = travel_agency_scenario()
+        injector = FailureInjector(random.Random(0))
+        with pytest.raises(ValueError):
+            injector.instance_failures(scenario.overlay, count=-1)
+        with pytest.raises(ValueError):
+            injector.link_failures(scenario.overlay, count=-1)
+
+    def test_targeted_failure_checks_protection(self):
+        scenario = travel_agency_scenario()
+        injector = FailureInjector(
+            random.Random(0), protect=[scenario.source_instance]
+        )
+        with pytest.raises(SFlowError):
+            injector.targeted_failure([scenario.source_instance])
+        victim = scenario.overlay.instances_of("hotel")[0]
+        plan = injector.targeted_failure([victim])
+        assert plan.failed_instances == (victim,)

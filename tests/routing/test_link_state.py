@@ -1,0 +1,102 @@
+"""Tests for the bounded link-state protocol.
+
+The headline property: the protocol's converged per-node views must equal
+the overlay's ego views of the same radius -- the paper's "two-hop vicinity"
+assumption, actually earned by message passing.
+"""
+
+import random
+
+import pytest
+
+from repro.network.metrics import PathQuality
+from repro.network.overlay import OverlayGraph, ServiceInstance
+from repro.routing.link_state import LinkStateReport, collect_local_views
+from repro.services.workloads import ScenarioConfig, generate_scenario
+
+
+def overlay_signature(view: OverlayGraph):
+    return (
+        tuple(view.instances()),
+        tuple(
+            (link.src, link.dst, link.metrics)
+            for inst in view.instances()
+            for link in view.out_links(inst)
+        ),
+    )
+
+
+@pytest.fixture
+def line_overlay():
+    overlay = OverlayGraph()
+    insts = [ServiceInstance(s, i) for i, s in enumerate("abcde")]
+    for u, v in zip(insts, insts[1:]):
+        overlay.add_link(u, v, PathQuality(5, 1))
+    return overlay, insts
+
+
+class TestFlood:
+    def test_horizon_zero_views_are_self_only(self, line_overlay):
+        overlay, insts = line_overlay
+        report = collect_local_views(overlay, 0)
+        for inst in insts:
+            assert list(report.views[inst].instances()) == [inst]
+        assert report.messages == 0
+
+    def test_horizon_one_views_are_neighbours(self, line_overlay):
+        overlay, insts = line_overlay
+        report = collect_local_views(overlay, 1)
+        assert set(report.views[insts[2]].instances()) == {
+            insts[1], insts[2], insts[3]
+        }
+
+    def test_negative_horizon_rejected(self, line_overlay):
+        overlay, _ = line_overlay
+        with pytest.raises(ValueError):
+            collect_local_views(overlay, -1)
+
+    def test_views_match_ego_views_on_line(self, line_overlay):
+        overlay, insts = line_overlay
+        for horizon in (0, 1, 2, 3):
+            report = collect_local_views(overlay, horizon)
+            for inst in insts:
+                assert overlay_signature(report.views[inst]) == overlay_signature(
+                    overlay.ego_view(inst, horizon)
+                ), (inst, horizon)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("horizon", [1, 2, 3])
+    def test_views_match_ego_views_on_random_overlays(self, seed, horizon):
+        scenario = generate_scenario(
+            ScenarioConfig(network_size=12, n_services=5, seed=seed)
+        )
+        overlay = scenario.overlay
+        report = collect_local_views(overlay, horizon)
+        for inst in overlay.instances():
+            assert overlay_signature(report.views[inst]) == overlay_signature(
+                overlay.ego_view(inst, horizon)
+            ), (inst, horizon)
+
+    def test_message_counting(self, line_overlay):
+        overlay, _ = line_overlay
+        report = collect_local_views(overlay, 2)
+        assert report.messages > 0
+        assert report.bytes >= report.messages
+
+    def test_larger_horizon_never_sees_less(self, line_overlay):
+        overlay, insts = line_overlay
+        small = collect_local_views(overlay, 1)
+        large = collect_local_views(overlay, 3)
+        for inst in insts:
+            assert set(small.views[inst].instances()) <= set(
+                large.views[inst].instances()
+            )
+
+    def test_convergence_time_positive_when_flooding(self, line_overlay):
+        overlay, _ = line_overlay
+        report = collect_local_views(overlay, 2)
+        assert report.converged_at > 0.0
+
+    def test_report_type(self, line_overlay):
+        overlay, _ = line_overlay
+        assert isinstance(collect_local_views(overlay, 1), LinkStateReport)

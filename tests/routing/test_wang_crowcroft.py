@@ -1,0 +1,218 @@
+"""Tests for shortest-widest (and widest-shortest) routing.
+
+The key test cross-validates the modified Dijkstra against brute-force path
+enumeration on random graphs: for every reachable target, the label must
+equal the best quality over *all* simple paths under the corresponding
+lexicographic order.
+"""
+
+import itertools
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.metrics import IDEAL, UNREACHABLE, PathQuality
+from repro.routing.wang_crowcroft import (
+    all_pairs_shortest_widest,
+    extract_path,
+    shortest_widest_path,
+    shortest_widest_tree,
+    widest_path_bandwidth,
+    widest_shortest_tree,
+)
+
+
+def adjacency(edges):
+    """Build a neighbor function from {(u, v): PathQuality} directed edges."""
+    table = {}
+    for (u, v), q in edges.items():
+        table.setdefault(u, []).append((v, q))
+
+    def neighbors(u):
+        return table.get(u, [])
+
+    return neighbors
+
+
+def enumerate_paths(edges, src, dst, max_nodes):
+    """All simple paths src -> dst with their qualities (brute force)."""
+    nbrs = adjacency(edges)
+    results = []
+
+    def walk(node, visited, quality):
+        if node == dst:
+            results.append((quality, list(visited)))
+            return
+        for nxt, link in nbrs(node):
+            if nxt in visited:
+                continue
+            visited.append(nxt)
+            walk(nxt, visited, quality.extend(link))
+            visited.pop()
+
+    walk(src, [src], IDEAL)
+    return results
+
+
+class TestBasics:
+    def test_source_label_is_ideal(self):
+        labels = shortest_widest_tree(adjacency({}), "s")
+        assert labels["s"].quality == IDEAL
+        assert labels["s"].hops == 0
+        assert labels["s"].predecessor is None
+
+    def test_single_edge(self):
+        edges = {("s", "t"): PathQuality(5, 2)}
+        quality, path = shortest_widest_path(adjacency(edges), "s", "t")
+        assert quality == PathQuality(5, 2)
+        assert path == ["s", "t"]
+
+    def test_unreachable_target(self):
+        edges = {("s", "a"): PathQuality(5, 2)}
+        quality, path = shortest_widest_path(adjacency(edges), "s", "zzz")
+        assert quality == UNREACHABLE
+        assert path == []
+
+    def test_prefers_wider_over_shorter(self):
+        edges = {
+            ("s", "t"): PathQuality(1, 1),
+            ("s", "m"): PathQuality(10, 5),
+            ("m", "t"): PathQuality(10, 5),
+        }
+        quality, path = shortest_widest_path(adjacency(edges), "s", "t")
+        assert path == ["s", "m", "t"]
+        assert quality == PathQuality(10, 10)
+
+    def test_breaks_bandwidth_ties_by_latency(self):
+        edges = {
+            ("s", "a"): PathQuality(10, 5),
+            ("a", "t"): PathQuality(10, 5),
+            ("s", "b"): PathQuality(10, 1),
+            ("b", "t"): PathQuality(10, 1),
+        }
+        quality, path = shortest_widest_path(adjacency(edges), "s", "t")
+        assert path == ["s", "b", "t"]
+        assert quality == PathQuality(10, 2)
+
+    def test_breaks_full_ties_by_hop_count(self):
+        edges = {
+            ("s", "t"): PathQuality(10, 2),
+            ("s", "m"): PathQuality(10, 1),
+            ("m", "t"): PathQuality(10, 1),
+        }
+        quality, path = shortest_widest_path(adjacency(edges), "s", "t")
+        assert quality == PathQuality(10, 2)
+        assert path == ["s", "t"]  # fewer hops wins the exact tie
+
+    def test_zero_bandwidth_links_are_ignored(self):
+        edges = {("s", "t"): PathQuality(0.0, 1)}
+        quality, path = shortest_widest_path(adjacency(edges), "s", "t")
+        assert quality == UNREACHABLE
+
+    def test_nodes_argument_adds_unreachable_labels(self):
+        labels = shortest_widest_tree(
+            adjacency({("s", "a"): PathQuality(1, 1)}), "s", nodes=["s", "a", "x"]
+        )
+        assert labels["x"].quality == UNREACHABLE
+        assert not labels["x"].reachable
+
+    def test_extract_path_of_unreached_is_empty(self):
+        labels = shortest_widest_tree(
+            adjacency({("s", "a"): PathQuality(1, 1)}), "s", nodes=["s", "a", "x"]
+        )
+        assert extract_path(labels, "s", "x") == []
+
+    def test_widest_path_bandwidth_helper(self):
+        edges = {
+            ("s", "m"): PathQuality(10, 5),
+            ("m", "t"): PathQuality(7, 5),
+        }
+        assert widest_path_bandwidth(adjacency(edges), "s", "t") == 7
+
+
+class TestAllPairs:
+    def test_all_pairs_matches_single_source(self):
+        edges = {
+            ("a", "b"): PathQuality(3, 1),
+            ("b", "c"): PathQuality(5, 1),
+            ("a", "c"): PathQuality(2, 1),
+        }
+        nodes = ["a", "b", "c"]
+        table = all_pairs_shortest_widest(adjacency(edges), nodes)
+        for src in nodes:
+            single = shortest_widest_tree(adjacency(edges), src, nodes=nodes)
+            for dst in nodes:
+                assert table[src][dst].quality == single[dst].quality
+
+    def test_all_pairs_includes_every_node(self):
+        edges = {("a", "b"): PathQuality(3, 1)}
+        table = all_pairs_shortest_widest(adjacency(edges), ["a", "b"])
+        assert set(table) == {"a", "b"}
+        assert set(table["a"]) == {"a", "b"}
+
+
+random_graphs = st.builds(
+    lambda n, density, seed: _random_graph(n, density, seed),
+    st.integers(min_value=2, max_value=7),
+    st.floats(min_value=0.2, max_value=0.9),
+    st.integers(min_value=0, max_value=10_000),
+)
+
+
+def _random_graph(n, density, seed):
+    rng = random.Random(seed)
+    edges = {}
+    for u in range(n):
+        for v in range(n):
+            if u != v and rng.random() < density:
+                edges[(u, v)] = PathQuality(
+                    float(rng.randint(1, 6)), float(rng.randint(1, 6))
+                )
+    return n, edges
+
+
+class TestAgainstBruteForce:
+    @given(random_graphs)
+    @settings(max_examples=60, deadline=None)
+    def test_shortest_widest_matches_enumeration(self, graph):
+        n, edges = graph
+        labels = shortest_widest_tree(adjacency(edges), 0, nodes=range(n))
+        for dst in range(1, n):
+            paths = enumerate_paths(edges, 0, dst, n)
+            if not paths:
+                assert not labels[dst].reachable
+                continue
+            best = max(q for q, _ in paths)
+            assert labels[dst].quality == best
+            # The returned path must realise the claimed quality.
+            path = extract_path(labels, 0, dst)
+            realised = IDEAL
+            for u, v in zip(path, path[1:]):
+                realised = realised.extend(edges[(u, v)])
+            assert realised == best
+
+    @given(random_graphs)
+    @settings(max_examples=40, deadline=None)
+    def test_widest_shortest_matches_enumeration(self, graph):
+        n, edges = graph
+        labels = widest_shortest_tree(adjacency(edges), 0, nodes=range(n))
+        for dst in range(1, n):
+            paths = enumerate_paths(edges, 0, dst, n)
+            if not paths:
+                assert not labels[dst].reachable
+                continue
+            best = min((q.latency, -q.bandwidth) for q, _ in paths)
+            got = labels[dst].quality
+            assert (got.latency, -got.bandwidth) == pytest.approx(best)
+
+    @given(random_graphs)
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic_across_runs(self, graph):
+        n, edges = graph
+        first = shortest_widest_tree(adjacency(edges), 0, nodes=range(n))
+        second = shortest_widest_tree(adjacency(edges), 0, nodes=range(n))
+        assert {
+            k: (v.quality, v.hops, v.predecessor) for k, v in first.items()
+        } == {k: (v.quality, v.hops, v.predecessor) for k, v in second.items()}

@@ -1,0 +1,115 @@
+"""Tests for the service abstract graph (paper Fig. 6)."""
+
+import pytest
+
+from repro.errors import FederationError
+from repro.network.metrics import UNREACHABLE, PathQuality
+from repro.network.overlay import OverlayGraph, ServiceInstance
+from repro.services.abstract_graph import AbstractGraph
+from repro.services.requirement import ServiceRequirement
+
+
+@pytest.fixture
+def chain_req():
+    return ServiceRequirement.from_path(["src", "mid", "dst"])
+
+
+class TestBuild:
+    def test_nodes_grouped_by_service(self, chain_req, small_overlay):
+        abstract = AbstractGraph.build(chain_req, small_overlay)
+        assert len(abstract.instances_of("mid")) == 2
+        assert len(abstract.instances_of("src")) == 1
+
+    def test_edges_only_between_adjacent_services(self, chain_req, small_overlay):
+        abstract = AbstractGraph.build(chain_req, small_overlay)
+        src = ServiceInstance("src", 0)
+        dst = ServiceInstance("dst", 3)
+        # src -> dst is not a requirement edge even though an overlay path
+        # exists via the mid instances.
+        assert abstract.edge(src, dst) is None
+
+    def test_edge_quality_is_shortest_widest_overlay_path(self, chain_req, small_overlay):
+        abstract = AbstractGraph.build(chain_req, small_overlay)
+        src = ServiceInstance("src", 0)
+        mid1 = ServiceInstance("mid", 1)
+        assert abstract.quality(src, mid1) == PathQuality(50.0, 5.0)
+
+    def test_edge_records_overlay_path(self, chain_req, small_overlay):
+        abstract = AbstractGraph.build(chain_req, small_overlay)
+        src = ServiceInstance("src", 0)
+        mid2 = ServiceInstance("mid", 2)
+        edge = abstract.edge(src, mid2)
+        assert edge.overlay_path == (src, mid2)
+
+    def test_relayed_abstract_edge(self):
+        """An abstract edge may route through a relay instance."""
+        overlay = OverlayGraph()
+        a = ServiceInstance("A", 0)
+        r = ServiceInstance("R", 1)  # relay, not part of the requirement
+        b = ServiceInstance("B", 2)
+        overlay.add_link(a, b, PathQuality(1.0, 1.0))  # narrow direct
+        overlay.add_link(a, r, PathQuality(9.0, 1.0))
+        overlay.add_link(r, b, PathQuality(9.0, 1.0))
+        req = ServiceRequirement(edges=[("A", "B")])
+        abstract = AbstractGraph.build(req, overlay)
+        edge = abstract.edge(a, b)
+        assert edge.quality == PathQuality(9.0, 2.0)
+        assert edge.overlay_path == (a, r, b)
+
+    def test_missing_service_instance_raises(self, chain_req, small_overlay):
+        req = ServiceRequirement.from_path(["src", "ghost", "dst"])
+        with pytest.raises(FederationError, match="ghost"):
+            AbstractGraph.build(req, small_overlay)
+
+    def test_unreachable_pairs_get_no_edge(self):
+        overlay = OverlayGraph()
+        a = ServiceInstance("A", 0)
+        b = ServiceInstance("B", 1)
+        overlay.add_instance(a)
+        overlay.add_instance(b)
+        req = ServiceRequirement(edges=[("A", "B")])
+        abstract = AbstractGraph.build(req, overlay)
+        assert abstract.edge(a, b) is None
+        assert abstract.quality(a, b) == UNREACHABLE
+
+    def test_require_usable_raises_on_unrealisable_edge(self):
+        overlay = OverlayGraph()
+        overlay.add_instance(ServiceInstance("A", 0))
+        overlay.add_instance(ServiceInstance("B", 1))
+        req = ServiceRequirement(edges=[("A", "B")])
+        with pytest.raises(FederationError, match="no usable"):
+            AbstractGraph.build(req, overlay, require_usable=True)
+
+
+class TestQueries:
+    def test_successors_adjacency(self, chain_req, small_overlay):
+        abstract = AbstractGraph.build(chain_req, small_overlay)
+        src = ServiceInstance("src", 0)
+        succ = dict(abstract.successors(src))
+        assert set(succ) == {
+            ServiceInstance("mid", 1),
+            ServiceInstance("mid", 2),
+        }
+
+    def test_nodes_iterates_in_requirement_order(self, chain_req, small_overlay):
+        abstract = AbstractGraph.build(chain_req, small_overlay)
+        sids = [inst.sid for inst in abstract.nodes()]
+        assert sids == ["src", "mid", "mid", "dst"]
+
+    def test_num_edges(self, chain_req, small_overlay):
+        abstract = AbstractGraph.build(chain_req, small_overlay)
+        # src->mid1, src->mid2, mid1->dst, mid2->dst; plus mid1->mid2?  No:
+        # mids are the same service, no requirement edge between them.
+        assert abstract.num_edges() == 4
+
+    def test_unknown_service_raises(self, chain_req, small_overlay):
+        abstract = AbstractGraph.build(chain_req, small_overlay)
+        with pytest.raises(KeyError):
+            abstract.instances_of("ghost")
+
+    def test_edges_iteration_sorted_and_complete(self, chain_req, small_overlay):
+        abstract = AbstractGraph.build(chain_req, small_overlay)
+        edges = list(abstract.edges())
+        assert len(edges) == abstract.num_edges()
+        keys = [(e.src, e.dst) for e in edges]
+        assert keys == sorted(keys)

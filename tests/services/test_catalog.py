@@ -1,0 +1,111 @@
+"""Tests for service types and the compatibility relation."""
+
+import pytest
+
+from repro.errors import RequirementError
+from repro.services.catalog import ServiceCatalog, ServiceType
+
+
+class TestServiceType:
+    def test_empty_sid_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceType("")
+
+    def test_feeds_on_type_overlap(self):
+        producer = ServiceType("p", outputs=frozenset({"video"}))
+        consumer = ServiceType("c", inputs=frozenset({"video", "audio"}))
+        assert producer.feeds(consumer)
+        assert not consumer.feeds(producer)
+
+    def test_no_overlap_no_feed(self):
+        a = ServiceType("a", outputs=frozenset({"x"}))
+        b = ServiceType("b", inputs=frozenset({"y"}))
+        assert not a.feeds(b)
+
+
+class TestCatalog:
+    def test_register_and_lookup(self):
+        catalog = ServiceCatalog()
+        catalog.define("t", inputs=["a"], outputs=["b"], description="demo")
+        assert "t" in catalog
+        assert catalog["t"].description == "demo"
+        assert len(catalog) == 1
+
+    def test_duplicate_registration_rejected(self):
+        catalog = ServiceCatalog()
+        catalog.define("t")
+        with pytest.raises(ValueError):
+            catalog.define("t")
+
+    def test_unknown_lookup_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            ServiceCatalog()["missing"]
+
+    def test_compatible_directed(self):
+        catalog = ServiceCatalog()
+        catalog.define("p", outputs=["stream"])
+        catalog.define("c", inputs=["stream"])
+        assert catalog.compatible("p", "c")
+        assert not catalog.compatible("c", "p")
+
+    def test_self_compatibility_excluded(self):
+        catalog = ServiceCatalog()
+        catalog.define("x", inputs=["t"], outputs=["t"])
+        assert not catalog.compatible("x", "x")
+
+    def test_unknown_services_incompatible(self):
+        catalog = ServiceCatalog()
+        catalog.define("p", outputs=["a"])
+        assert not catalog.compatible("p", "ghost")
+        assert not catalog.compatible("ghost", "p")
+
+    def test_compatibility_predicate_is_standalone(self):
+        catalog = ServiceCatalog()
+        catalog.define("p", outputs=["a"])
+        catalog.define("c", inputs=["a"])
+        predicate = catalog.compatibility_predicate()
+        assert predicate("p", "c")
+
+    def test_compatible_pairs_enumeration(self):
+        catalog = ServiceCatalog()
+        catalog.define("p", outputs=["a"])
+        catalog.define("c", inputs=["a"])
+        catalog.define("island")
+        assert list(catalog.compatible_pairs()) == [("p", "c")]
+
+    def test_sids_sorted(self):
+        catalog = ServiceCatalog()
+        catalog.define("zz")
+        catalog.define("aa")
+        assert list(catalog.sids()) == ["aa", "zz"]
+
+
+class TestFromEdges:
+    def test_exact_compatibility(self):
+        catalog = ServiceCatalog.from_edges([("a", "b"), ("b", "c")])
+        assert catalog.compatible("a", "b")
+        assert catalog.compatible("b", "c")
+        assert not catalog.compatible("a", "c")
+        assert not catalog.compatible("b", "a")
+
+    def test_extra_sids_registered_isolated(self):
+        catalog = ServiceCatalog.from_edges([("a", "b")], extra_sids=["solo"])
+        assert "solo" in catalog
+        assert not any("solo" in pair for pair in catalog.compatible_pairs())
+
+    def test_self_edge_rejected(self):
+        with pytest.raises(RequirementError):
+            ServiceCatalog.from_edges([("a", "a")])
+
+    def test_from_requirement_edges_supports_requirement(self):
+        from repro.services.workloads import travel_agency_requirement
+
+        req = travel_agency_requirement()
+        catalog = ServiceCatalog.from_edges(req.edges())
+        for a, b in req.edges():
+            assert catalog.compatible(a, b)
+
+    def test_constructor_accepts_iterable(self):
+        types = [ServiceType("a", outputs=frozenset({"t"}))]
+        catalog = ServiceCatalog(types)
+        assert "a" in catalog

@@ -1,0 +1,208 @@
+"""Tests for the data-plane stream executor.
+
+The headline properties validate the paper's Sec. 3.2 claims:
+
+* steady-state throughput converges to bottleneck bandwidth / unit size;
+* the first unit's delivery time follows the critical path (parallel
+  branches overlap).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.reductions import ReductionSolver
+from repro.errors import FederationError
+from repro.network.metrics import PathQuality
+from repro.network.overlay import OverlayGraph, ServiceInstance
+from repro.services.execution import (
+    StreamConfig,
+    StreamReport,
+    first_unit_latency,
+    simulate_stream,
+)
+from repro.services.flowgraph import FlowEdge, ServiceFlowGraph
+from repro.services.requirement import ServiceRequirement
+from repro.services.workloads import media_pipeline_scenario
+
+
+def chain_graph(bandwidths, latencies):
+    """A chain flow graph s -> m0 -> m1 ... with the given edge metrics."""
+    sids = [f"n{i}" for i in range(len(bandwidths) + 1)]
+    req = ServiceRequirement.from_path(sids)
+    instances = {sid: ServiceInstance(sid, i) for i, sid in enumerate(sids)}
+    edges = [
+        FlowEdge(
+            instances[a], instances[b], PathQuality(bw, lat)
+        )
+        for (a, b), bw, lat in zip(
+            zip(sids, sids[1:]), bandwidths, latencies
+        )
+    ]
+    return ServiceFlowGraph(req, instances, edges)
+
+
+def diamond_graph(top_latency, bottom_latency, bandwidth=10.0):
+    req = ServiceRequirement(
+        edges=[("s", "a"), ("s", "b"), ("a", "t"), ("b", "t")]
+    )
+    inst = {sid: ServiceInstance(sid, i) for i, sid in enumerate("sabt")}
+    edges = [
+        FlowEdge(inst["s"], inst["a"], PathQuality(bandwidth, top_latency)),
+        FlowEdge(inst["a"], inst["t"], PathQuality(bandwidth, top_latency)),
+        FlowEdge(inst["s"], inst["b"], PathQuality(bandwidth, bottom_latency)),
+        FlowEdge(inst["b"], inst["t"], PathQuality(bandwidth, bottom_latency)),
+    ]
+    return ServiceFlowGraph(req, inst, edges)
+
+
+class TestConfig:
+    def test_invalid_units(self):
+        with pytest.raises(ValueError):
+            StreamConfig(units=0)
+
+    def test_invalid_unit_size(self):
+        with pytest.raises(ValueError):
+            StreamConfig(unit_size=0)
+
+    def test_invalid_emit_interval(self):
+        with pytest.raises(ValueError):
+            StreamConfig(emit_interval=-1)
+
+    def test_per_service_delays(self):
+        config = StreamConfig(processing_delay={"a": 2.0})
+        assert config.delay_for("a") == 2.0
+        assert config.delay_for("other") == 0.0
+
+    def test_negative_delay_rejected(self):
+        config = StreamConfig(processing_delay={"a": -1.0})
+        with pytest.raises(ValueError):
+            config.delay_for("a")
+
+
+class TestChainSemantics:
+    def test_single_unit_latency(self):
+        graph = chain_graph([10.0, 10.0], [3.0, 4.0])
+        report = simulate_stream(graph, StreamConfig(units=1, unit_size=1.0))
+        # Two hops: (1/10 transmission + latency) each.
+        assert report.first_delivery == pytest.approx(0.1 + 3 + 0.1 + 4)
+        assert report.last_delivery == report.first_delivery
+        assert math.isinf(report.throughput)
+
+    def test_throughput_converges_to_bottleneck(self):
+        graph = chain_graph([10.0, 2.0, 8.0], [1.0, 1.0, 1.0])
+        report = simulate_stream(graph, StreamConfig(units=200, unit_size=1.0))
+        assert report.predicted_throughput == pytest.approx(2.0)
+        assert report.throughput == pytest.approx(2.0, rel=0.02)
+        assert report.prediction_error < 0.02
+
+    def test_unit_size_scales_throughput(self):
+        graph = chain_graph([10.0], [1.0])
+        small = simulate_stream(graph, StreamConfig(units=100, unit_size=1.0))
+        large = simulate_stream(graph, StreamConfig(units=100, unit_size=2.0))
+        assert small.throughput == pytest.approx(2 * large.throughput, rel=0.05)
+
+    def test_emit_interval_throttles_source(self):
+        graph = chain_graph([100.0], [1.0])
+        report = simulate_stream(
+            graph, StreamConfig(units=100, emit_interval=0.5)
+        )
+        # The source, not the network, is the bottleneck: 2 units/time.
+        assert report.throughput == pytest.approx(2.0, rel=0.02)
+
+    def test_processing_delay_bottlenecks_pipeline(self):
+        graph = chain_graph([100.0], [1.0])
+        report = simulate_stream(
+            graph,
+            StreamConfig(units=100, processing_delay={"n1": 1.0}),
+        )
+        # n1 handles one unit per time unit regardless of bandwidth.
+        assert report.throughput == pytest.approx(1.0, rel=0.02)
+
+    def test_deliveries_are_monotone(self):
+        graph = chain_graph([5.0, 3.0], [2.0, 2.0])
+        report = simulate_stream(graph, StreamConfig(units=20))
+        times = report.deliveries["n2"]
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+
+class TestDagSemantics:
+    def test_parallel_branches_overlap(self):
+        graph = diamond_graph(top_latency=1.0, bottom_latency=5.0)
+        report = simulate_stream(graph, StreamConfig(units=1))
+        # Completion is governed by the slow branch alone (2 hops x (5 + tx)).
+        expected = 2 * (5.0 + 0.1)
+        assert report.first_delivery == pytest.approx(expected)
+
+    def test_first_unit_matches_analytic_latency(self):
+        graph = diamond_graph(top_latency=2.0, bottom_latency=3.0)
+        config = StreamConfig(units=1, processing_delay=0.5)
+        report = simulate_stream(graph, config)
+        assert report.first_delivery == pytest.approx(
+            first_unit_latency(graph, config)
+        )
+
+    def test_diamond_throughput_is_bottleneck(self):
+        graph = diamond_graph(1.0, 2.0, bandwidth=4.0)
+        report = simulate_stream(graph, StreamConfig(units=150))
+        assert report.throughput == pytest.approx(4.0, rel=0.02)
+
+    def test_real_federation_streams(self):
+        scenario = media_pipeline_scenario()
+        graph = ReductionSolver().solve(
+            scenario.requirement,
+            scenario.overlay,
+            source_instance=scenario.source_instance,
+        )
+        report = simulate_stream(graph, StreamConfig(units=100))
+        assert report.prediction_error < 0.05
+        assert report.first_delivery >= graph.end_to_end_latency()
+
+
+class TestValidation:
+    def test_incomplete_graph_rejected(self):
+        req = ServiceRequirement.from_path(["a", "b"])
+        graph = ServiceFlowGraph(req, {"a": ServiceInstance("a", 0)})
+        with pytest.raises(FederationError):
+            simulate_stream(graph)
+
+    def test_multi_sink_deliveries_reported(self):
+        req = ServiceRequirement(edges=[("s", "x"), ("s", "y")])
+        inst = {sid: ServiceInstance(sid, i) for i, sid in enumerate("sxy")}
+        edges = [
+            FlowEdge(inst["s"], inst["x"], PathQuality(10, 1)),
+            FlowEdge(inst["s"], inst["y"], PathQuality(10, 9)),
+        ]
+        graph = ServiceFlowGraph(req, inst, edges)
+        report = simulate_stream(graph, StreamConfig(units=5))
+        assert set(report.deliveries) == {"x", "y"}
+        # The slowest sink (y) defines the reported delivery times.
+        assert report.first_delivery == pytest.approx(9 + 0.1)
+
+
+class TestPropertyBased:
+    @given(
+        bandwidths=st.lists(
+            st.floats(min_value=0.5, max_value=50), min_size=1, max_size=5
+        ),
+        latencies=st.lists(
+            st.floats(min_value=0.0, max_value=10), min_size=5, max_size=5
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_throughput_never_exceeds_bottleneck(self, bandwidths, latencies):
+        graph = chain_graph(bandwidths, latencies[: len(bandwidths)])
+        report = simulate_stream(graph, StreamConfig(units=30))
+        assert report.throughput <= report.predicted_throughput * 1.001
+
+    @given(
+        units=st.integers(min_value=2, max_value=60),
+        bottleneck=st.floats(min_value=0.5, max_value=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_longer_streams_tighten_the_prediction(self, units, bottleneck):
+        graph = chain_graph([bottleneck * 3, bottleneck], [1.0, 1.0])
+        short = simulate_stream(graph, StreamConfig(units=units))
+        long = simulate_stream(graph, StreamConfig(units=units * 4))
+        assert long.prediction_error <= short.prediction_error + 1e-9

@@ -1,0 +1,212 @@
+"""Tests for service flow graphs: structure, quality, correctness metric."""
+
+import math
+
+import pytest
+
+from repro.errors import FederationError
+from repro.network.metrics import UNREACHABLE, PathQuality
+from repro.network.overlay import ServiceInstance
+from repro.services.abstract_graph import AbstractGraph
+from repro.services.flowgraph import (
+    FlowEdge,
+    ServiceFlowGraph,
+    merge_partial_graphs,
+)
+from repro.services.requirement import ServiceRequirement
+
+
+@pytest.fixture
+def chain_req():
+    return ServiceRequirement.from_path(["src", "mid", "dst"])
+
+
+@pytest.fixture
+def abstract(chain_req, small_overlay):
+    return AbstractGraph.build(chain_req, small_overlay)
+
+
+def wide_assignment():
+    return {
+        "src": ServiceInstance("src", 0),
+        "mid": ServiceInstance("mid", 1),
+        "dst": ServiceInstance("dst", 3),
+    }
+
+
+class TestConstruction:
+    def test_assignment_sid_mismatch_rejected(self, chain_req):
+        with pytest.raises(FederationError):
+            ServiceFlowGraph(chain_req, {"src": ServiceInstance("other", 0)})
+
+    def test_assignment_unknown_service_rejected(self, chain_req):
+        with pytest.raises(FederationError):
+            ServiceFlowGraph(chain_req, {"ghost": ServiceInstance("ghost", 0)})
+
+    def test_edge_not_in_requirement_rejected(self, chain_req):
+        edge = FlowEdge(
+            ServiceInstance("src", 0), ServiceInstance("dst", 3), PathQuality(1, 1)
+        )
+        with pytest.raises(FederationError):
+            ServiceFlowGraph(chain_req, {}, [edge])
+
+    def test_edge_conflicting_with_assignment_rejected(self, chain_req):
+        edge = FlowEdge(
+            ServiceInstance("src", 0), ServiceInstance("mid", 1), PathQuality(1, 1)
+        )
+        with pytest.raises(FederationError):
+            ServiceFlowGraph(
+                chain_req, {"mid": ServiceInstance("mid", 2)}, [edge]
+            )
+
+    def test_edges_imply_assignment(self, chain_req):
+        edge = FlowEdge(
+            ServiceInstance("src", 0), ServiceInstance("mid", 1), PathQuality(1, 1)
+        )
+        graph = ServiceFlowGraph(chain_req, {}, [edge])
+        assert graph.instance_for("mid") == ServiceInstance("mid", 1)
+        assert not graph.is_complete()
+
+
+class TestRealize:
+    def test_realize_builds_complete_graph(self, abstract):
+        graph = ServiceFlowGraph.realize(abstract, wide_assignment())
+        assert graph.is_complete()
+        graph.validate()
+
+    def test_realize_missing_service_rejected(self, abstract):
+        partial = wide_assignment()
+        del partial["mid"]
+        with pytest.raises(FederationError, match="misses"):
+            ServiceFlowGraph.realize(abstract, partial)
+
+    def test_realize_strict_raises_on_unreachable(self, chain_req, small_overlay):
+        # Remove the only links into dst for mid/1 by building a tiny overlay
+        # where mid/1 cannot reach dst.
+        from repro.network.overlay import OverlayGraph
+
+        overlay = OverlayGraph()
+        src = ServiceInstance("src", 0)
+        mid = ServiceInstance("mid", 1)
+        dst = ServiceInstance("dst", 3)
+        overlay.add_link(src, mid, PathQuality(5, 1))
+        overlay.add_instance(dst)
+        abstract = AbstractGraph.build(chain_req, overlay)
+        assignment = {"src": src, "mid": mid, "dst": dst}
+        with pytest.raises(FederationError, match="no usable overlay path"):
+            ServiceFlowGraph.realize(abstract, assignment)
+        relaxed = ServiceFlowGraph.realize(abstract, assignment, strict=False)
+        assert relaxed.bottleneck_bandwidth() == 0.0
+        with pytest.raises(FederationError):
+            relaxed.validate()
+
+    def test_realized_edges_carry_overlay_paths(self, abstract):
+        graph = ServiceFlowGraph.realize(abstract, wide_assignment())
+        for edge in graph.edges():
+            assert edge.overlay_path[0] == edge.src
+            assert edge.overlay_path[-1] == edge.dst
+
+
+class TestQuality:
+    def test_bottleneck_bandwidth(self, abstract):
+        graph = ServiceFlowGraph.realize(abstract, wide_assignment())
+        assert graph.bottleneck_bandwidth() == 50.0
+
+    def test_latency_on_chain_is_sum(self, abstract):
+        graph = ServiceFlowGraph.realize(abstract, wide_assignment())
+        assert graph.end_to_end_latency() == pytest.approx(10.0)
+        assert graph.sequential_latency() == pytest.approx(10.0)
+
+    def test_quality_object(self, abstract):
+        graph = ServiceFlowGraph.realize(abstract, wide_assignment())
+        assert graph.quality() == PathQuality(50.0, 10.0)
+
+    def test_critical_path_on_diamond(self, diamond_requirement):
+        s = ServiceInstance("s", 0)
+        a = ServiceInstance("a", 1)
+        b = ServiceInstance("b", 2)
+        t = ServiceInstance("t", 3)
+        edges = [
+            FlowEdge(s, a, PathQuality(10, 1)),
+            FlowEdge(s, b, PathQuality(10, 5)),
+            FlowEdge(a, t, PathQuality(10, 1)),
+            FlowEdge(b, t, PathQuality(10, 5)),
+        ]
+        graph = ServiceFlowGraph(diamond_requirement, {}, edges)
+        # Parallel branches: the slow branch (5+5) dominates the fast (1+1).
+        assert graph.end_to_end_latency() == pytest.approx(10.0)
+        # Sequential execution would pay every edge.
+        assert graph.sequential_latency() == pytest.approx(12.0)
+
+    def test_empty_graph_bandwidth_zero(self, chain_req):
+        graph = ServiceFlowGraph(chain_req, {})
+        assert graph.bottleneck_bandwidth() == 0.0
+
+    def test_incomplete_graph_latency_infinite(self, chain_req):
+        edge = FlowEdge(
+            ServiceInstance("src", 0), ServiceInstance("mid", 1), PathQuality(5, 2)
+        )
+        graph = ServiceFlowGraph(chain_req, {}, [edge])
+        assert math.isinf(graph.end_to_end_latency())
+
+
+class TestCorrectnessCoefficient:
+    def test_identical_graphs_score_one(self, abstract):
+        graph = ServiceFlowGraph.realize(abstract, wide_assignment())
+        assert graph.correctness_coefficient(graph) == 1.0
+
+    def test_partial_match(self, abstract):
+        reference = ServiceFlowGraph.realize(abstract, wide_assignment())
+        other_assignment = dict(wide_assignment())
+        other_assignment["mid"] = ServiceInstance("mid", 2)
+        other = ServiceFlowGraph.realize(abstract, other_assignment)
+        assert other.correctness_coefficient(reference) == pytest.approx(2 / 3)
+
+    def test_empty_reference_rejected(self, chain_req, abstract):
+        graph = ServiceFlowGraph.realize(abstract, wide_assignment())
+        empty = ServiceFlowGraph(chain_req, {})
+        with pytest.raises(FederationError):
+            graph.correctness_coefficient(empty)
+
+
+class TestRelaysAndExport:
+    def test_relay_instances_excludes_assigned(self, chain_req):
+        src = ServiceInstance("src", 0)
+        relay = ServiceInstance("relay", 9)
+        mid = ServiceInstance("mid", 1)
+        edge = FlowEdge(src, mid, PathQuality(5, 2), (src, relay, mid))
+        graph = ServiceFlowGraph(chain_req, {}, [edge])
+        assert graph.relay_instances() == {relay}
+
+    def test_to_dot_contains_nodes_and_edges(self, abstract):
+        graph = ServiceFlowGraph.realize(abstract, wide_assignment())
+        dot = graph.to_dot()
+        assert "digraph" in dot
+        assert '"src" -> "mid"' in dot
+        assert "mid/1" in dot
+
+
+class TestMergePartialGraphs:
+    def test_merge_combines_disjoint_parts(self, chain_req):
+        src = ServiceInstance("src", 0)
+        mid = ServiceInstance("mid", 1)
+        dst = ServiceInstance("dst", 3)
+        left = ServiceFlowGraph(
+            chain_req, {}, [FlowEdge(src, mid, PathQuality(5, 1))]
+        )
+        right = ServiceFlowGraph(
+            chain_req, {}, [FlowEdge(mid, dst, PathQuality(5, 1))]
+        )
+        merged = merge_partial_graphs(chain_req, [left, right])
+        assert merged.is_complete()
+
+    def test_merge_detects_conflicting_assignments(self, chain_req):
+        left = ServiceFlowGraph(chain_req, {"mid": ServiceInstance("mid", 1)})
+        right = ServiceFlowGraph(chain_req, {"mid": ServiceInstance("mid", 2)})
+        with pytest.raises(FederationError, match="conflicting"):
+            merge_partial_graphs(chain_req, [left, right])
+
+    def test_merge_of_nothing_is_empty(self, chain_req):
+        merged = merge_partial_graphs(chain_req, [])
+        assert not merged.is_complete()
+        assert merged.assignment == {}

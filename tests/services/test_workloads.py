@@ -1,0 +1,137 @@
+"""Tests for scenario/workload generation."""
+
+import random
+
+import pytest
+
+from repro.network.underlay import UnderlayConfig
+from repro.services.requirement import RequirementClass
+from repro.services.workloads import (
+    Scenario,
+    ScenarioConfig,
+    generate_scenario,
+    media_pipeline_requirement,
+    media_pipeline_scenario,
+    travel_agency_requirement,
+    travel_agency_scenario,
+)
+
+
+class TestScenarioConfig:
+    def test_defaults_valid(self):
+        ScenarioConfig()
+
+    def test_too_few_services_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(n_services=1)
+
+    def test_bad_instance_range_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(instances_per_service=(0, 2))
+        with pytest.raises(ValueError):
+            ScenarioConfig(instances_per_service=(3, 2))
+
+    def test_tiny_network_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(network_size=1)
+
+
+class TestGenerateScenario:
+    def test_deterministic_in_seed(self):
+        cfg = ScenarioConfig(network_size=12, seed=9)
+        a = generate_scenario(cfg)
+        b = generate_scenario(cfg)
+        assert a.requirement == b.requirement
+        assert list(a.overlay.instances()) == list(b.overlay.instances())
+        assert a.source_instance == b.source_instance
+
+    def test_different_seeds_vary(self):
+        a = generate_scenario(ScenarioConfig(network_size=12, seed=1))
+        b = generate_scenario(ScenarioConfig(network_size=12, seed=2))
+        assert (
+            a.requirement != b.requirement
+            or list(a.overlay.instances()) != list(b.overlay.instances())
+        )
+
+    def test_every_required_service_has_instances(self):
+        scenario = generate_scenario(ScenarioConfig(network_size=15, seed=3))
+        for sid in scenario.requirement.services():
+            assert scenario.overlay.instances_of(sid)
+
+    def test_single_source_instance_by_default(self):
+        scenario = generate_scenario(ScenarioConfig(network_size=15, seed=3))
+        assert len(scenario.overlay.instances_of(scenario.requirement.source)) == 1
+
+    def test_multi_source_instances_when_disabled(self):
+        scenario = generate_scenario(
+            ScenarioConfig(
+                network_size=15,
+                seed=3,
+                single_source_instance=False,
+                instances_per_service=(3, 3),
+            )
+        )
+        assert len(scenario.overlay.instances_of(scenario.requirement.source)) == 3
+
+    def test_requested_class_respected(self):
+        scenario = generate_scenario(
+            ScenarioConfig(
+                network_size=15, seed=4, requirement_class=RequirementClass.PATH
+            )
+        )
+        assert scenario.requirement.classify() is RequirementClass.PATH
+
+    def test_underlay_template_respected(self):
+        scenario = generate_scenario(
+            ScenarioConfig(
+                network_size=9,
+                seed=5,
+                underlay=UnderlayConfig(n=2, model="grid"),
+            )
+        )
+        assert scenario.underlay.n == 9  # network_size overrides template n
+
+    def test_describe_mentions_sizes(self):
+        scenario = generate_scenario(ScenarioConfig(network_size=10, seed=0))
+        text = scenario.describe()
+        assert "n=10" in text
+        assert "requirement" in text
+
+    def test_extra_compatibility_adds_links(self):
+        sparse = generate_scenario(
+            ScenarioConfig(network_size=14, seed=6, extra_compatibility=0.0)
+        )
+        dense = generate_scenario(
+            ScenarioConfig(network_size=14, seed=6, extra_compatibility=0.9)
+        )
+        assert dense.overlay.num_links() >= sparse.overlay.num_links()
+
+
+class TestPaperExamples:
+    def test_travel_requirement_shape(self):
+        req = travel_agency_requirement()
+        assert req.source == "travel_engine"
+        assert req.sinks == ("agency",)
+        assert req.in_degree("map") == 3  # hotel, attraction, car_rental
+
+    def test_travel_scenario_runs(self):
+        scenario = travel_agency_scenario()
+        assert isinstance(scenario, Scenario)
+        assert scenario.source_instance.sid == "travel_engine"
+        assert len(scenario.overlay.instances_of("hotel")) == 2
+
+    def test_travel_scenario_deterministic(self):
+        a = travel_agency_scenario(seed=3)
+        b = travel_agency_scenario(seed=3)
+        assert list(a.overlay.instances()) == list(b.overlay.instances())
+
+    def test_media_requirement_shape(self):
+        req = media_pipeline_requirement()
+        assert req.source == "capture"
+        assert req.sinks == ("edge_cache",)
+        assert req.is_series_parallel()
+
+    def test_media_scenario_runs(self):
+        scenario = media_pipeline_scenario()
+        assert scenario.source_instance.sid == "capture"
+        assert len(scenario.overlay.instances_of("transcode")) == 3

@@ -1,0 +1,187 @@
+"""Tests for mailboxes and the message network."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.channels import Envelope, Mailbox, MessageNetwork
+from repro.sim.engine import Environment
+
+
+class TestEnvelope:
+    def test_negative_size_rejected(self):
+        with pytest.raises(SimulationError):
+            Envelope("a", "b", None, 0.0, size=-1)
+
+
+class TestMailbox:
+    def test_put_then_get(self):
+        env = Environment()
+        box = Mailbox(env)
+        box.put(Envelope("a", "b", "hello", 0.0))
+
+        def receiver():
+            envelope = yield box.get()
+            return envelope.payload
+
+        assert env.run(until=env.process(receiver())) == "hello"
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        box = Mailbox(env)
+        received_at = []
+
+        def receiver():
+            yield box.get()
+            received_at.append(env.now)
+
+        def sender():
+            yield env.timeout(7)
+            box.put(Envelope("a", "b", "late", env.now))
+
+        env.process(receiver())
+        env.process(sender())
+        env.run()
+        assert received_at == [7.0]
+
+    def test_fifo_ordering(self):
+        env = Environment()
+        box = Mailbox(env)
+        for i in range(3):
+            box.put(Envelope("a", "b", i, 0.0))
+        got = []
+
+        def receiver():
+            for _ in range(3):
+                envelope = yield box.get()
+                got.append(envelope.payload)
+
+        env.run(until=env.process(receiver()))
+        assert got == [0, 1, 2]
+
+    def test_multiple_waiters_served_fifo(self):
+        env = Environment()
+        box = Mailbox(env)
+        results = []
+
+        def receiver(name):
+            envelope = yield box.get()
+            results.append((name, envelope.payload))
+
+        env.process(receiver("first"))
+        env.process(receiver("second"))
+
+        def sender():
+            yield env.timeout(1)
+            box.put(Envelope("s", "d", "m1", env.now))
+            box.put(Envelope("s", "d", "m2", env.now))
+
+        env.process(sender())
+        env.run()
+        assert results == [("first", "m1"), ("second", "m2")]
+
+    def test_len_counts_unclaimed(self):
+        env = Environment()
+        box = Mailbox(env)
+        box.put(Envelope("a", "b", 1, 0.0))
+        assert len(box) == 1
+        assert box.received == 1
+
+
+class TestMessageNetwork:
+    def test_send_with_latency(self):
+        env = Environment()
+        net = MessageNetwork(env)
+        box = net.register("dst")
+        times = []
+
+        def receiver():
+            envelope = yield box.get()
+            times.append((env.now, envelope.sent_at, envelope.payload))
+
+        env.process(receiver())
+        net.send("src", "dst", "data", latency=4.5)
+        env.run()
+        assert times == [(4.5, 0.0, "data")]
+
+    def test_latency_fn_used_when_not_explicit(self):
+        env = Environment()
+        net = MessageNetwork(env, latency_fn=lambda s, d, e: 2.0)
+        box = net.register("dst")
+        times = []
+
+        def receiver():
+            yield box.get()
+            times.append(env.now)
+
+        env.process(receiver())
+        net.send("src", "dst", "x")
+        env.run()
+        assert times == [2.0]
+
+    def test_negative_latency_rejected(self):
+        env = Environment()
+        net = MessageNetwork(env)
+        net.register("dst")
+        with pytest.raises(SimulationError):
+            net.send("src", "dst", "x", latency=-1)
+
+    def test_unregistered_destination_raises(self):
+        env = Environment()
+        net = MessageNetwork(env)
+        with pytest.raises(SimulationError, match="unregistered"):
+            net.send("src", "ghost", "x")
+
+    def test_drop_unroutable_counts_drops(self):
+        env = Environment()
+        net = MessageNetwork(env, drop_unroutable=True)
+        assert net.send("src", "ghost", "x") is None
+        assert net.stats.dropped == 1
+        assert net.stats.messages == 0
+
+    def test_stats_accumulate(self):
+        env = Environment()
+        net = MessageNetwork(env)
+        net.register("a")
+        net.register("b")
+        net.send("x", "a", "m", size=10)
+        net.send("x", "b", "m", size=5)
+        net.send("x", "a", "m", size=1)
+        assert net.stats.messages == 3
+        assert net.stats.bytes == 16
+        assert net.stats.per_destination == {"a": 2, "b": 1}
+
+    def test_reset_stats(self):
+        env = Environment()
+        net = MessageNetwork(env)
+        net.register("a")
+        net.send("x", "a", "m")
+        net.reset_stats()
+        assert net.stats.messages == 0
+
+    def test_register_is_idempotent(self):
+        env = Environment()
+        net = MessageNetwork(env)
+        assert net.register("a") is net.register("a")
+
+    def test_mailbox_lookup_unknown_raises(self):
+        env = Environment()
+        net = MessageNetwork(env)
+        with pytest.raises(SimulationError):
+            net.mailbox("ghost")
+
+    def test_in_flight_messages_order_by_latency(self):
+        env = Environment()
+        net = MessageNetwork(env)
+        box = net.register("dst")
+        got = []
+
+        def receiver():
+            while True:
+                envelope = yield box.get()
+                got.append(envelope.payload)
+
+        env.process(receiver())
+        net.send("src", "dst", "slow", latency=10)
+        net.send("src", "dst", "fast", latency=1)
+        env.run(until=20)
+        assert got == ["fast", "slow"]

@@ -1,0 +1,374 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    Timeout,
+)
+
+
+class TestEvent:
+    def test_initial_state(self):
+        env = Environment()
+        event = env.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_value_before_trigger_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.event().value
+
+    def test_succeed_carries_value(self):
+        env = Environment()
+        event = env.event().succeed(42)
+        assert event.triggered
+        assert event.ok
+        assert event.value == 42
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        event = env.event().succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.event().fail("not an exception")  # type: ignore[arg-type]
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.event().succeed(delay=-1)
+
+    def test_callback_after_processed_still_runs(self):
+        env = Environment()
+        event = env.event().succeed("x")
+        env.run()
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        env.run()
+        assert seen == ["x"]
+
+    def test_unwaited_failed_event_surfaces(self):
+        env = Environment()
+        env.event().fail(RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            env.run()
+
+
+class TestTimeout:
+    def test_fires_at_delay(self):
+        env = Environment()
+        fired = []
+        env.timeout(5.0).add_callback(lambda e: fired.append(env.now))
+        env.run()
+        assert fired == [5.0]
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1)
+
+    def test_zero_delay_fires_immediately(self):
+        env = Environment()
+        fired = []
+        env.timeout(0).add_callback(lambda e: fired.append(env.now))
+        env.run()
+        assert fired == [0.0]
+
+    def test_timeout_value(self):
+        env = Environment()
+
+        def proc():
+            value = yield env.timeout(1, value="payload")
+            return value
+
+        result = env.run(until=env.process(proc()))
+        assert result == "payload"
+
+
+class TestEnvironment:
+    def test_clock_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_custom_initial_time(self):
+        assert Environment(10.0).now == 10.0
+
+    def test_events_fire_in_time_order(self):
+        env = Environment()
+        order = []
+        env.timeout(3).add_callback(lambda e: order.append(3))
+        env.timeout(1).add_callback(lambda e: order.append(1))
+        env.timeout(2).add_callback(lambda e: order.append(2))
+        env.run()
+        assert order == [1, 2, 3]
+
+    def test_same_time_fifo(self):
+        env = Environment()
+        order = []
+        for i in range(5):
+            env.timeout(1).add_callback(lambda e, i=i: order.append(i))
+        env.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_run_until_time_stops_clock_there(self):
+        env = Environment()
+        env.timeout(10)
+        env.run(until=4.0)
+        assert env.now == 4.0
+
+    def test_run_until_past_raises(self):
+        env = Environment(5.0)
+        with pytest.raises(SimulationError):
+            env.run(until=1.0)
+
+    def test_step_without_events_raises(self):
+        with pytest.raises(SimulationError):
+            Environment().step()
+
+    def test_peek_empty_is_inf(self):
+        assert Environment().peek() == float("inf")
+
+    def test_run_until_event_returns_value(self):
+        env = Environment()
+        event = env.event()
+        env.timeout(2).add_callback(lambda e: event.succeed("done"))
+        assert env.run(until=event) == "done"
+        assert env.now == 2.0
+
+    def test_run_until_unfireable_event_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError, match="ran out of events"):
+            env.run(until=env.event())
+
+
+class TestProcess:
+    def test_simple_sequence(self):
+        env = Environment()
+        trace = []
+
+        def proc():
+            trace.append(("start", env.now))
+            yield env.timeout(2)
+            trace.append(("mid", env.now))
+            yield env.timeout(3)
+            trace.append(("end", env.now))
+
+        env.process(proc())
+        env.run()
+        assert trace == [("start", 0.0), ("mid", 2.0), ("end", 5.0)]
+
+    def test_return_value_becomes_event_value(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1)
+            return "result"
+
+        assert env.run(until=env.process(proc())) == "result"
+
+    def test_processes_wait_on_each_other(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(4)
+            return 7
+
+        def parent():
+            value = yield env.process(child())
+            return value * 2
+
+        assert env.run(until=env.process(parent())) == 14
+        assert env.now == 4.0
+
+    def test_exception_propagates_to_waiter(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(1)
+            raise ValueError("child failed")
+
+        def parent():
+            try:
+                yield env.process(child())
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        assert env.run(until=env.process(parent())) == "caught child failed"
+
+    def test_uncaught_process_exception_surfaces(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1)
+            raise RuntimeError("kaboom")
+
+        env.process(proc())
+        with pytest.raises(RuntimeError, match="kaboom"):
+            env.run()
+
+    def test_yielding_non_event_fails_process(self):
+        env = Environment()
+
+        def proc():
+            yield 42  # type: ignore[misc]
+
+        process = env.process(proc())
+        with pytest.raises(SimulationError, match="must yield events"):
+            env.run(until=process)
+
+    def test_non_generator_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Process(env, lambda: None)  # type: ignore[arg-type]
+
+    def test_waiting_on_already_processed_event(self):
+        env = Environment()
+        event = env.event().succeed("early")
+        env.run()
+
+        def proc():
+            value = yield event
+            return value
+
+        assert env.run(until=env.process(proc())) == "early"
+
+    def test_cross_environment_event_rejected(self):
+        env1, env2 = Environment(), Environment()
+        foreign = env2.event().succeed()
+
+        def proc():
+            yield foreign
+
+        process = env1.process(proc())
+        with pytest.raises(SimulationError, match="another environment"):
+            env1.run(until=process)
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_sleeping_process(self):
+        env = Environment()
+
+        def sleeper():
+            try:
+                yield env.timeout(100)
+                return "overslept"
+            except Interrupt as interrupt:
+                return f"woken by {interrupt.cause} at {env.now}"
+
+        process = env.process(sleeper())
+
+        def waker():
+            yield env.timeout(3)
+            process.interrupt("alarm")
+
+        env.process(waker())
+        assert env.run(until=process) == "woken by alarm at 3.0"
+
+    def test_interrupting_finished_process_rejected(self):
+        env = Environment()
+
+        def quick():
+            yield env.timeout(1)
+
+        process = env.process(quick())
+        env.run()
+        with pytest.raises(SimulationError):
+            process.interrupt()
+
+    def test_stale_event_after_interrupt_is_ignored(self):
+        env = Environment()
+
+        def sleeper():
+            try:
+                yield env.timeout(10)
+            except Interrupt:
+                yield env.timeout(5)  # resumes; old timeout must not wake us
+                return env.now
+
+        process = env.process(sleeper())
+
+        def waker():
+            yield env.timeout(1)
+            process.interrupt()
+
+        env.process(waker())
+        assert env.run(until=process) == 6.0
+
+    def test_unhandled_interrupt_is_an_error(self):
+        env = Environment()
+
+        def sleeper():
+            yield env.timeout(10)
+
+        process = env.process(sleeper())
+
+        def waker():
+            yield env.timeout(1)
+            process.interrupt()
+
+        env.process(waker())
+        with pytest.raises(SimulationError, match="Interrupt"):
+            env.run()
+
+
+class TestConditions:
+    def test_any_of_fires_on_first(self):
+        env = Environment()
+        result = env.run(
+            until=env.any_of([env.timeout(5, value="slow"), env.timeout(1, value="fast")])
+        )
+        assert result == {1: "fast"}
+        assert env.now == 1.0
+
+    def test_all_of_waits_for_every_event(self):
+        env = Environment()
+        result = env.run(
+            until=env.all_of([env.timeout(5, value="a"), env.timeout(2, value="b")])
+        )
+        assert result == {0: "a", 1: "b"}
+        assert env.now == 5.0
+
+    def test_empty_all_of_fires_immediately(self):
+        env = Environment()
+        assert env.run(until=env.all_of([])) == {}
+
+    def test_any_of_failure_propagates(self):
+        env = Environment()
+        bad = env.event()
+        bad.fail(ValueError("nope"))
+        with pytest.raises(ValueError):
+            env.run(until=env.any_of([bad, env.timeout(1)]))
+
+    def test_condition_rejects_foreign_events(self):
+        env1, env2 = Environment(), Environment()
+        with pytest.raises(SimulationError):
+            env1.all_of([env2.event()])
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def simulate():
+            env = Environment()
+            trace = []
+
+            def worker(name, period):
+                while env.now < 20:
+                    yield env.timeout(period)
+                    trace.append((name, env.now))
+
+            env.process(worker("a", 3))
+            env.process(worker("b", 5))
+            env.run(until=30)
+            return trace
+
+        assert simulate() == simulate()

@@ -1,0 +1,156 @@
+"""Cross-module property tests: whole-pipeline invariants under hypothesis.
+
+Each property here spans several subsystems at once -- scenario generation,
+solvers, the distributed run, repair, serialisation -- so a regression in
+any one layer that breaks a global invariant surfaces even if that layer's
+unit tests miss it.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.optimal import optimal_flow_graph
+from repro.core.reductions import ReductionSolver, decompose
+from repro.core.repair import repair_flow_graph
+from repro.core.sflow import SFlowAlgorithm, SFlowConfig
+from repro.errors import FederationError
+from repro.network.failures import FailureInjector
+from repro.services.serialization import (
+    flow_graph_from_dict,
+    flow_graph_to_dict,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from repro.services.workloads import (
+    ScenarioConfig,
+    generate_scenario,
+    random_requirement,
+)
+
+scenario_seeds = st.integers(min_value=0, max_value=10_000)
+small_scenarios = st.builds(
+    lambda seed, n_services: generate_scenario(
+        ScenarioConfig(
+            network_size=12,
+            n_services=n_services,
+            seed=seed,
+            instances_per_service=(1, 3),
+        )
+    ),
+    scenario_seeds,
+    st.integers(min_value=2, max_value=7),
+)
+
+
+class TestSolverHierarchy:
+    @given(small_scenarios)
+    @settings(max_examples=25, deadline=None)
+    def test_nobody_beats_optimal(self, scenario):
+        optimal = optimal_flow_graph(
+            scenario.requirement,
+            scenario.overlay,
+            source_instance=scenario.source_instance,
+        )
+        for solver in (ReductionSolver(), SFlowAlgorithm()):
+            graph = solver.solve(
+                scenario.requirement,
+                scenario.overlay,
+                source_instance=scenario.source_instance,
+            )
+            assert not graph.quality().is_better_than(optimal.quality())
+
+    @given(small_scenarios)
+    @settings(max_examples=25, deadline=None)
+    def test_pareto_reduction_is_exact(self, scenario):
+        optimal = optimal_flow_graph(
+            scenario.requirement,
+            scenario.overlay,
+            source_instance=scenario.source_instance,
+        )
+        solved = ReductionSolver(pareto=True).solve(
+            scenario.requirement,
+            scenario.overlay,
+            source_instance=scenario.source_instance,
+        )
+        assert solved.quality() == optimal.quality()
+
+    @given(small_scenarios)
+    @settings(max_examples=20, deadline=None)
+    def test_sflow_is_deterministic_and_complete(self, scenario):
+        first = SFlowAlgorithm().solve(
+            scenario.requirement,
+            scenario.overlay,
+            source_instance=scenario.source_instance,
+        )
+        second = SFlowAlgorithm().solve(
+            scenario.requirement,
+            scenario.overlay,
+            source_instance=scenario.source_instance,
+        )
+        assert first.assignment == second.assignment
+        assert first.is_complete()
+
+
+class TestDecomposition:
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_blocks_cover_all_services(self, n, seed):
+        requirement = random_requirement(random.Random(seed), n)
+        if len(requirement.sinks) != 1:
+            return  # decompose requires two-terminal form
+        block = decompose(requirement)
+        assert set(block.services()) == set(requirement.services())
+        assert block.u == requirement.source
+        assert block.v == requirement.sink
+
+
+class TestRepairInvariants:
+    @given(small_scenarios, st.integers(min_value=1, max_value=3))
+    @settings(max_examples=20, deadline=None)
+    def test_repair_yields_valid_graph_or_raises(self, scenario, kill):
+        graph = ReductionSolver().solve(
+            scenario.requirement,
+            scenario.overlay,
+            source_instance=scenario.source_instance,
+        )
+        injector = FailureInjector(
+            random.Random(scenario.seed), protect=[scenario.source_instance]
+        )
+        plan = injector.instance_failures(scenario.overlay, count=kill)
+        after = plan.apply(scenario.overlay)
+        try:
+            report = repair_flow_graph(graph, after)
+        except FederationError:
+            return  # overlay genuinely cannot host the requirement any more
+        report.graph.validate()
+        for inst in report.graph.assignment.values():
+            assert inst in after
+        assert 0.0 <= report.preserved_fraction <= 1.0
+
+
+class TestSerializationInvariants:
+    @given(small_scenarios)
+    @settings(max_examples=15, deadline=None)
+    def test_scenario_roundtrip_preserves_solutions(self, scenario):
+        rebuilt = scenario_from_dict(scenario_to_dict(scenario))
+        solve = lambda sc: ReductionSolver().solve(
+            sc.requirement, sc.overlay, source_instance=sc.source_instance
+        )
+        assert solve(rebuilt).assignment == solve(scenario).assignment
+
+    @given(small_scenarios)
+    @settings(max_examples=15, deadline=None)
+    def test_flow_graph_roundtrip_preserves_quality(self, scenario):
+        graph = ReductionSolver().solve(
+            scenario.requirement,
+            scenario.overlay,
+            source_instance=scenario.source_instance,
+        )
+        rebuilt = flow_graph_from_dict(flow_graph_to_dict(graph))
+        assert rebuilt.quality() == graph.quality()
+        assert rebuilt.assignment == graph.assignment

@@ -1,0 +1,94 @@
+"""Tests for the make_scenario / federate command-line pipeline."""
+
+import json
+
+import pytest
+
+from repro.errors import SFlowError
+from repro.services.serialization import load_json
+from repro.services.workloads import Scenario
+from repro.tools.federate import main as federate_main, make_algorithm
+from repro.tools.make_scenario import main as make_scenario_main
+
+
+@pytest.fixture
+def scenario_file(tmp_path):
+    path = tmp_path / "scenario.json"
+    code = make_scenario_main(
+        [
+            "--out", str(path),
+            "--size", "14",
+            "--services", "5",
+            "--seed", "3",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestMakeScenario:
+    def test_writes_loadable_scenario(self, scenario_file):
+        scenario = load_json(scenario_file)
+        assert isinstance(scenario, Scenario)
+        assert scenario.underlay.n == 14
+        assert len(scenario.requirement) == 5
+
+    def test_class_option(self, tmp_path):
+        path = tmp_path / "path.json"
+        make_scenario_main(
+            ["--out", str(path), "--class", "path", "--seed", "1"]
+        )
+        scenario = load_json(path)
+        assert scenario.requirement.classify().value in ("path", "single")
+
+    def test_deterministic(self, tmp_path):
+        args = ["--size", "12", "--services", "4", "--seed", "9"]
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        make_scenario_main(["--out", str(a), *args])
+        make_scenario_main(["--out", str(b), *args])
+        assert json.loads(a.read_text()) == json.loads(b.read_text())
+
+
+class TestFederate:
+    @pytest.mark.parametrize(
+        "algorithm",
+        ["sflow", "reduction", "optimal", "fixed", "random", "service_tree"],
+    )
+    def test_algorithms_run(self, scenario_file, tmp_path, capsys, algorithm):
+        out = tmp_path / "graph.json"
+        code = federate_main(
+            [
+                str(scenario_file),
+                "--algorithm", algorithm,
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "bottleneck bandwidth" in printed
+        graph = load_json(out)
+        assert graph.requirement == load_json(scenario_file).requirement
+
+    def test_stream_option(self, scenario_file, capsys):
+        code = federate_main([str(scenario_file), "--stream", "30"])
+        assert code == 0
+        assert "throughput" in capsys.readouterr().out
+
+    def test_rejects_non_scenario_input(self, tmp_path, capsys):
+        bogus = tmp_path / "req.json"
+        from repro.services.requirement import ServiceRequirement
+        from repro.services.serialization import save_json
+
+        save_json(ServiceRequirement.from_path(["a", "b"]), bogus)
+        code = federate_main([str(bogus)])
+        assert code == 2
+
+    def test_make_algorithm_rejects_unknown(self):
+        with pytest.raises(SFlowError):
+            make_algorithm("magic", horizon=2)
+
+    def test_horizon_option_controls_sflow(self, scenario_file, capsys):
+        code = federate_main(
+            [str(scenario_file), "--algorithm", "sflow", "--horizon", "1"]
+        )
+        assert code == 0
