@@ -4,14 +4,24 @@
 Establishes a federation, then kills service instances out from under it
 and repairs the flow graph incrementally -- comparing locality and quality
 against a from-scratch re-federation, and streaming data through the
-repaired graph to prove it actually delivers.
+repaired graph to prove it actually delivers.  Finally, crashes a chosen
+instance *while the sfederate protocol itself is still running* and shows
+the in-protocol failover recovering mid-federation.
 
 Run:  python examples/failure_recovery.py
 """
 
 import random
 
-from repro import ReductionSolver, travel_agency_scenario
+from repro import (
+    ChaosPlan,
+    CrashEvent,
+    CrashSchedule,
+    ReductionSolver,
+    SFlowAlgorithm,
+    SFlowConfig,
+    travel_agency_scenario,
+)
 from repro.core.repair import diagnose, repair_flow_graph
 from repro.network.failures import FailureInjector
 from repro.services.execution import StreamConfig, simulate_stream
@@ -76,6 +86,47 @@ def main() -> None:
     print(f"  measured throughput : {stream.throughput:.2f} units/time")
     print(f"  bottleneck predicts : {stream.predicted_throughput:.2f}")
     print(f"  first unit delivered: {stream.first_delivery:.2f}")
+
+    # ------------------------------------------------------------------
+    # Mid-protocol crash: the instance the protocol is about to choose
+    # dies *while the federation is running* -- the upstream node detects
+    # the silence, fails over to the next-best candidate, and the run
+    # still completes (structured FAILED result if it could not).
+    # ------------------------------------------------------------------
+    print("\n=== mid-protocol crash: failover while federating ===")
+    config = SFlowConfig(
+        retransmit_timeout=10.0, max_retries=2, failover_backoff=5.0,
+        deadline=600.0,
+    )
+    sflow = SFlowAlgorithm(config)
+    undisturbed = sflow.federate(
+        scenario.requirement,
+        scenario.overlay,
+        source_instance=scenario.source_instance,
+    )
+    victim = undisturbed.flow_graph.instance_for("hotel")
+    print(f"  crash-free run picks {victim}; crashing it at t=0.5 ...")
+    chaos = ChaosPlan(
+        schedule=CrashSchedule(events=(CrashEvent(victim, at=0.5),)),
+        seed=4,
+    )
+    result = sflow.federate(
+        scenario.requirement,
+        scenario.overlay,
+        source_instance=scenario.source_instance,
+        chaos=chaos,
+    )
+    print(f"  outcome: {result.outcome.value} "
+          f"(failovers={result.failovers}, "
+          f"re-federations={result.refederations})")
+    for event in result.recovery_log:
+        print(f"    t={event.time:7.2f}  {event.kind:<16} {event.detail}")
+    if result.flow_graph is not None:
+        print(f"  hotel now served by {result.flow_graph.instance_for('hotel')}")
+        print(f"  recovery overhead: "
+              f"+{result.messages - undisturbed.messages} messages, "
+              f"+{result.convergence_time - undisturbed.convergence_time:.2f} "
+              f"virtual time")
 
 
 if __name__ == "__main__":

@@ -49,12 +49,21 @@ from repro.core.alternatives import (
     RandomAlgorithm,
     ServicePathAlgorithm,
 )
-from repro.core.sflow import SFlowAlgorithm, SFlowConfig, SFlowResult
+from repro.core.sflow import (
+    FederationOutcome,
+    RecoveryEvent,
+    SFlowAlgorithm,
+    SFlowConfig,
+    SFlowResult,
+)
 from repro.core.repair import RepairReport, diagnose, repair_flow_graph
 from repro.core.monitor import MonitorConfig, MonitorReport, MonitoredFederation
 from repro.core.multicast import ServiceTreeAlgorithm
 from repro.core.types import FederationAlgorithm, FederationResult, timed_solve
 from repro.network.failures import (
+    ChaosPlan,
+    CrashEvent,
+    CrashSchedule,
     FailureInjector,
     FailurePlan,
     degrade_links,
@@ -69,8 +78,13 @@ __version__ = "1.0.0"
 __all__ = [
     "AbstractGraph",
     "BaselineAlgorithm",
+    "ChaosPlan",
+    "CrashEvent",
+    "CrashSchedule",
     "FailureInjector",
     "FailurePlan",
+    "FederationOutcome",
+    "RecoveryEvent",
     "MonitorConfig",
     "MonitorReport",
     "MonitoredFederation",

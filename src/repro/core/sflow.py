@@ -33,6 +33,31 @@ optimistic uniform prior estimated from the links the node can see.  This
 is what makes sFlow degrade gracefully -- but measurably -- as the network
 grows, reproducing the downward trend of Fig. 10(a).
 
+Crash tolerance (the "agile" half of the paper's title, carried into the
+protocol itself): a :class:`~repro.network.failures.ChaosPlan` can kill
+service nodes *while the federation is running*.  The runtime then behaves
+like a real distributed system rather than a batch solver:
+
+* a crashed node silently drops traffic; the upstream sender detects it by
+  **retry exhaustion** of the acknowledged transport;
+* the sender **fails over**: it re-runs its local baseline/reduction step
+  with every suspected-dead instance excluded, re-pins the lost service to
+  its next-best candidate, and re-sends -- with exponential backoff between
+  attempts.  Re-pins carry a per-service generation so downstream merge
+  points deterministically prefer the freshest decision over stale pins
+  still in flight;
+* failovers that cannot be decided locally (a merge service pinned by a
+  remote dominator, an exhausted failover budget, no live alternative)
+  escalate to a bounded number of **re-federations**: the consumer restarts
+  the protocol for the residual requirement -- everything not safely
+  delivered, i.e. the full requirement -- with the suspects excluded;
+* the sink side enforces an optional end-to-end **deadline**; each expiry
+  burns one re-federation, and exhausting them fails the run;
+* every recovery step lands in a structured :class:`RecoveryEvent` log on
+  the :class:`SFlowResult`, and an unrecoverable run returns
+  ``outcome=FederationOutcome.FAILED`` instead of leaking an exception out
+  of :meth:`~repro.sim.engine.Environment.run`.
+
 Everything runs on the discrete-event simulator: ``sfederate`` messages
 take the latency of the realised overlay path they travel, so the reported
 convergence time and message counts are measured, not modelled.
@@ -40,12 +65,14 @@ convergence time and message counts are measured, not modelled.
 
 from __future__ import annotations
 
+import enum
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.errors import FederationError, SimulationError
+from repro.network.failures import ChaosPlan
 from repro.network.metrics import PathQuality, UNREACHABLE
 from repro.network.overlay import OverlayGraph, ServiceInstance
 from repro.routing.link_state import collect_local_views
@@ -67,6 +94,11 @@ class SFederate:
     edges: Tuple[FlowEdge, ...]
     #: Non-zero when the transport is lossy: retransmission/dedup handle.
     msg_id: int = 0
+    #: Protocol round: bumped by every re-federation; stale rounds are dropped.
+    generation: int = 0
+    #: Failover lineage: ``sid -> re-pin generation`` for re-decided services
+    #: (absent = 0).  Higher generations win when pins conflict downstream.
+    repins: Tuple[Tuple[Sid, int], ...] = ()
 
     def pin_map(self) -> Dict[Sid, ServiceInstance]:
         return dict(self.pins)
@@ -74,7 +106,13 @@ class SFederate:
     @property
     def size(self) -> int:
         """Abstract wire size used for byte accounting."""
-        return 1 + len(self.residual) + len(self.pins) + 3 * len(self.edges)
+        return (
+            1
+            + len(self.residual)
+            + len(self.pins)
+            + 3 * len(self.edges)
+            + len(self.repins)
+        )
 
 
 @dataclass(frozen=True)
@@ -82,6 +120,27 @@ class Ack:
     """Acknowledgement of an ``sfederate`` message under a lossy transport."""
 
     msg_id: int
+
+
+class FederationOutcome(enum.Enum):
+    """How a federation run ended."""
+
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One structured entry of a run's recovery log.
+
+    ``kind`` is one of: ``crash``, ``revival``, ``retry_exhausted``,
+    ``failover``, ``abandon``, ``refederate``, ``deadline_expired``,
+    ``failed``.
+    """
+
+    time: float
+    kind: str
+    detail: str
 
 
 @dataclass
@@ -112,8 +171,23 @@ class SFlowConfig:
         loss_seed: RNG seed of the loss process (runs are reproducible).
         retransmit_timeout: virtual time before an unacknowledged
             ``sfederate`` is resent.
-        max_retries: retransmissions before the sender gives up (which
-            fails the federation loudly).
+        max_retries: retransmissions before the sender declares the
+            receiver dead (suspected) and hands over to failover.
+        failover: whether an upstream node re-pins a suspected-dead
+            downstream instance to its next-best candidate (re-running the
+            local reduction step with suspects excluded).  With failover
+            off, retry exhaustion fails the run -- but still through the
+            structured :class:`SFlowResult` path, never by raising out of
+            the simulation.
+        max_failovers: total failover budget of one run; exhausting it
+            escalates to re-federation.
+        failover_backoff: base of the exponential virtual-time backoff
+            between failover attempts (doubles per attempt of a send).
+        deadline: optional end-to-end virtual-time deadline enforced on the
+            sink side; every expiry triggers a re-federation until
+            ``max_refederations`` is exhausted.
+        max_refederations: how many times the consumer may restart the
+            protocol for the residual requirement (``k`` in the docs).
     """
 
     horizon: int = 2
@@ -126,6 +200,11 @@ class SFlowConfig:
     loss_seed: int = 0
     retransmit_timeout: float = 30.0
     max_retries: int = 25
+    failover: bool = True
+    max_failovers: int = 8
+    failover_backoff: float = 10.0
+    deadline: Optional[float] = None
+    max_refederations: int = 2
 
     def __post_init__(self) -> None:
         if self.horizon < 0:
@@ -136,13 +215,27 @@ class SFlowConfig:
             raise ValueError("retransmit_timeout must be > 0")
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if self.max_failovers < 0:
+            raise ValueError("max_failovers must be >= 0")
+        if self.failover_backoff <= 0:
+            raise ValueError("failover_backoff must be > 0")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be > 0 (or None)")
+        if self.max_refederations < 0:
+            raise ValueError("max_refederations must be >= 0")
 
 
 @dataclass
 class SFlowResult:
-    """Everything a federation run produced and measured."""
+    """Everything a federation run produced and measured.
 
-    flow_graph: ServiceFlowGraph
+    ``flow_graph`` is ``None`` exactly when ``outcome`` is
+    :attr:`FederationOutcome.FAILED`; ``failure_reason`` then says why and
+    ``recovery_log`` records every step the runtime took trying to save the
+    run (crashes observed, failovers, re-federations, abandonments).
+    """
+
+    flow_graph: Optional[ServiceFlowGraph]
     convergence_time: float
     messages: int
     bytes: int
@@ -154,6 +247,17 @@ class SFlowResult:
     retransmissions: int = 0
     lost_messages: int = 0
     acks: int = 0
+    #: Crash-tolerance accounting (empty/zero on an undisturbed run).
+    outcome: FederationOutcome = FederationOutcome.SUCCEEDED
+    failure_reason: str = ""
+    recovery_log: Tuple[RecoveryEvent, ...] = ()
+    crashes: int = 0
+    failovers: int = 0
+    refederations: int = 0
+
+    @property
+    def succeeded(self) -> bool:
+        return self.outcome is FederationOutcome.SUCCEEDED
 
 
 class _PlanningView(AbstractView):
@@ -171,6 +275,8 @@ class _PlanningView(AbstractView):
       a fighting chance without leaking actual topology, so sFlow's
       correctness decays gracefully with network size (Fig. 10(a)) instead
       of collapsing to a coin flip.
+    * ``excluded`` removes suspected-dead instances from every candidate
+      pool (failover re-planning); pinned decisions are honoured verbatim.
     """
 
     def __init__(
@@ -180,6 +286,7 @@ class _PlanningView(AbstractView):
         directory: Dict[Sid, Tuple[ServiceInstance, ...]],
         pins: Dict[Sid, ServiceInstance],
         hints: Optional[Dict[ServiceInstance, PathQuality]] = None,
+        excluded: FrozenSet[ServiceInstance] = frozenset(),
     ) -> None:
         self._local = local_view
         self._hints = hints or {}
@@ -189,8 +296,19 @@ class _PlanningView(AbstractView):
             if pinned is not None:
                 self._pools[sid] = (pinned,)
                 continue
-            known = local_view.instances_of(sid)
-            self._pools[sid] = known if known else directory.get(sid, ())
+            known = tuple(
+                inst
+                for inst in local_view.instances_of(sid)
+                if inst not in excluded
+            )
+            if known:
+                self._pools[sid] = known
+            else:
+                self._pools[sid] = tuple(
+                    inst
+                    for inst in directory.get(sid, ())
+                    if inst not in excluded
+                )
         self._trees: Dict[ServiceInstance, Dict] = {}
         self._prior = self._estimate_prior(local_view)
 
@@ -240,7 +358,13 @@ class _SFlowNode:
         self.fed = federation
         self.mailbox = federation.network.register(me)
         self.inbox: List[SFederate] = []
+        self.generation = 0
         self._seen_ids: set = set()
+
+    def reset(self) -> None:
+        """Crash-stop: the node's volatile protocol state is lost."""
+        self.inbox.clear()
+        self._seen_ids.clear()
 
     def run(self):
         while True:
@@ -250,6 +374,17 @@ class _SFlowNode:
                 self.fed.acknowledge(payload.msg_id)
                 continue
             message: SFederate = payload
+            if message.generation < self.generation:
+                # Stale protocol round: acknowledge (to silence the
+                # retransmitter) but never act on it.
+                if message.msg_id:
+                    self.fed.send_ack(self.me, envelope.src, message.msg_id)
+                continue
+            if message.generation > self.generation:
+                # A re-federation superseded everything this node had.
+                self.generation = message.generation
+                self.inbox.clear()
+                self._seen_ids.clear()
             if message.msg_id:
                 # Reliable mode: always (re-)acknowledge -- the previous ack
                 # may have been lost -- but process each message once.
@@ -268,18 +403,34 @@ class _SFlowNode:
         my_sid = self.me.sid
         fed.node_activations += 1
         pins: Dict[Sid, ServiceInstance] = {}
+        pin_gens: Dict[Sid, int] = {}
         edges: Dict[Tuple[Sid, Sid], FlowEdge] = {}
         for message in self.inbox:
+            gens = dict(message.repins)
             for sid, inst in message.pins:
-                existing = pins.get(sid)
-                if existing is not None and existing != inst:
+                gen = gens.get(sid, 0)
+                if sid not in pins:
+                    pins[sid] = inst
+                    pin_gens[sid] = gen
+                    continue
+                if gen > pin_gens[sid]:
+                    # A failover re-pin supersedes the stale decision.
+                    pins[sid] = inst
+                    pin_gens[sid] = gen
+                elif gen == pin_gens[sid] and pins[sid] != inst:
                     raise FederationError(
                         f"inconsistent pins for {sid!r} at {self.me}: "
-                        f"{existing} vs {inst}"
+                        f"{pins[sid]} vs {inst}"
                     )
-                pins[sid] = inst
             for edge in message.edges:
                 edges[edge.requirement_edge] = edge
+        # Drop flow edges that still reference a superseded pin.
+        edges = {
+            key: edge
+            for key, edge in edges.items()
+            if pins.get(edge.src.sid) == edge.src
+            and pins.get(edge.dst.sid) == edge.dst
+        }
         if pins.get(my_sid) != self.me:
             raise FederationError(
                 f"{self.me} received an sfederate pinned to {pins.get(my_sid)}"
@@ -287,13 +438,20 @@ class _SFlowNode:
 
         successors = fed.requirement.successors(my_sid)
         if not successors:
-            fed.complete_sink(my_sid, pins, edges)
+            fed.complete_sink(my_sid, pins, pin_gens, edges, self.generation)
             return
 
         started = time.perf_counter()
         residual = fed.requirement.downstream_closure(my_sid)
         view = fed.local_view(self.me)
-        planning = _PlanningView(residual, view, fed.directory, pins, fed.hints)
+        planning = _PlanningView(
+            residual,
+            view,
+            fed.directory,
+            pins,
+            fed.hints,
+            excluded=frozenset(fed.suspected),
+        )
         solver = ReductionSolver(
             pareto=fed.config.pareto,
             enumeration_limit=fed.config.enumeration_limit,
@@ -307,7 +465,7 @@ class _SFlowNode:
             # vicinity); fall back to blind directory choices so the
             # federation still terminates -- with poor quality, as it should.
             assignment = {
-                sid: pins.get(sid) or fed.directory[sid][0]
+                sid: pins.get(sid) or fed.live_choice(sid)
                 for sid in residual.services()
             }
             assignment[my_sid] = self.me
@@ -323,6 +481,9 @@ class _SFlowNode:
                 new_pins[sid] = assignment[sid]
 
         pin_tuple = tuple(sorted(new_pins.items()))
+        repin_tuple = tuple(
+            sorted((sid, gen) for sid, gen in pin_gens.items() if gen > 0)
+        )
         for succ_sid in successors:
             succ_inst = new_pins.get(succ_sid)
             if succ_inst is None:
@@ -338,6 +499,8 @@ class _SFlowNode:
                 pins=pin_tuple,
                 edges=tuple(out_edges[k] for k in sorted(out_edges)),
                 msg_id=fed.next_msg_id(),
+                generation=self.generation,
+                repins=repin_tuple,
             )
             latency = (
                 flow_edge.quality.latency
@@ -356,20 +519,39 @@ class _Federation:
         overlay: OverlayGraph,
         source_instance: ServiceInstance,
         config: SFlowConfig,
+        chaos: Optional[ChaosPlan] = None,
     ) -> None:
         self.requirement = requirement
         self.overlay = overlay
         self.source_instance = source_instance
         self.config = config
         self.env = Environment()
+        self.chaos = chaos if chaos is not None and chaos.active else None
+        if self.chaos is not None:
+            self.chaos.schedule.validate_against(overlay)
+        #: Reliable (acknowledged) transport is needed whenever messages can
+        #: vanish -- seeded loss or a chaos plan that crashes nodes.
+        self.reliable = config.loss_rate > 0 or self.chaos is not None
         self._loss_rng = random.Random(config.loss_seed)
+        self._chaos_rng = (
+            random.Random(self.chaos.seed)
+            if self.chaos is not None and self.chaos.loss_rate > 0
+            else None
+        )
         loss_fn = None
-        if config.loss_rate > 0:
-            loss_fn = (
-                lambda src, dst, envelope: src != "consumer"
-                and self._loss_rng.random() < config.loss_rate
-            )
-        self.network = MessageNetwork(self.env, loss_fn=loss_fn)
+        if config.loss_rate > 0 or self._chaos_rng is not None:
+            loss_fn = self._lose
+        jitter_fn = None
+        if self.chaos is not None and self.chaos.delay_jitter > 0:
+            jitter_rng = random.Random(self.chaos.seed ^ 0x9E3779B9)
+            jitter = self.chaos.delay_jitter
+
+            def jitter_fn(src, dst, envelope):
+                if src == "consumer":
+                    return 0.0
+                return jitter_rng.uniform(0.0, jitter)
+
+        self.network = MessageNetwork(self.env, loss_fn=loss_fn, jitter_fn=jitter_fn)
         self._msg_ids = 0
         self._pending_acks: Dict[int, Event] = {}
         self.retransmissions = 0
@@ -399,8 +581,31 @@ class _Federation:
         self.node_activations = 0
         self.local_compute_seconds = 0.0
         self.per_node_compute: Dict[ServiceInstance, float] = {}
-        self._sink_parts: Dict[Sid, Tuple[Dict, Dict]] = {}
+        self._sink_parts: Dict[
+            Sid, Tuple[Dict, Dict, Dict]
+        ] = {}
+        self._nodes: Dict[ServiceInstance, _SFlowNode] = {}
+        #: Instances this run believes are dead (retry exhaustion, crashes
+        #: observed through failed sends -- never via global knowledge).
+        self.suspected: Set[ServiceInstance] = set()
+        self.generation = 0
+        self.crashes = 0
+        self.failovers = 0
+        self.refederations = 0
+        self.failed = False
+        self.failure_reason = ""
+        self.recovery_log: List[RecoveryEvent] = []
         self.done: Event = self.env.event()
+
+    def _lose(self, src, dst, envelope) -> bool:
+        if src == "consumer":
+            return False
+        lost = False
+        if self.config.loss_rate > 0:
+            lost |= self._loss_rng.random() < self.config.loss_rate
+        if self._chaos_rng is not None:
+            lost |= self._chaos_rng.random() < self.chaos.loss_rate
+        return lost
 
     def _mean_latency(self) -> float:
         latencies = [
@@ -437,11 +642,64 @@ class _Federation:
                 )
         return hints
 
+    # -- recovery bookkeeping ----------------------------------------------------
+
+    def _log(self, kind: str, detail: str) -> None:
+        self.recovery_log.append(RecoveryEvent(self.env.now, kind, detail))
+
+    def _fail_run(self, reason: str, *, force: bool = False) -> None:
+        """End the run as FAILED -- structured, never by raising."""
+        if self.done.triggered and not force:
+            return
+        if not self.failed:
+            self.failed = True
+            self.failure_reason = reason
+            self._log("failed", reason)
+        if not self.done.triggered:
+            self.done.succeed()
+
+    def live_choice(self, sid: Sid) -> ServiceInstance:
+        """First directory instance not currently suspected dead (falling
+        back to the directory head so blind planning still terminates)."""
+        pool = self.directory[sid]
+        for inst in pool:
+            if inst not in self.suspected:
+                return inst
+        return pool[0]
+
+    def _live_alternative(self, sid: Sid) -> Optional[ServiceInstance]:
+        for inst in self.directory.get(sid, ()):
+            if inst not in self.suspected:
+                return inst
+        return None
+
+    # -- chaos (crash-stop schedule) ---------------------------------------------
+
+    def _chaos_driver(self, event):
+        yield self.env.timeout(event.at)
+        self._crash(event.instance)
+        if event.revive_at is not None:
+            yield self.env.timeout(event.revive_at - event.at)
+            self._revive(event.instance)
+
+    def _crash(self, instance: ServiceInstance) -> None:
+        self.network.crash(instance)
+        node = self._nodes.get(instance)
+        if node is not None:
+            node.reset()
+        self.crashes += 1
+        self._log("crash", f"{instance} crashed (crash-stop)")
+
+    def _revive(self, instance: ServiceInstance) -> None:
+        self.network.revive(instance)
+        self.suspected.discard(instance)
+        self._log("revival", f"{instance} revived with empty state")
+
     # -- transport (reliability layer) -------------------------------------------
 
     def next_msg_id(self) -> int:
-        """Fresh ``sfederate`` id; 0 (no reliability) on a lossless link."""
-        if self.config.loss_rate == 0:
+        """Fresh ``sfederate`` id; 0 (no reliability) on a safe transport."""
+        if not self.reliable:
             return 0
         self._msg_ids += 1
         return self._msg_ids
@@ -454,13 +712,11 @@ class _Federation:
         latency: float,
     ) -> None:
         """Send an ``sfederate``: fire-and-forget when the transport is
-        lossless, acknowledged-with-retransmission otherwise."""
+        safe, supervised (acks, retransmission, failover) otherwise."""
         if message.msg_id == 0:
             self.network.send(src, dst, message, latency=latency, size=message.size)
             return
-        ack_event = self.env.event()
-        self._pending_acks[message.msg_id] = ack_event
-        self.env.process(self._reliable_send(src, dst, message, latency, ack_event))
+        self.env.process(self._supervised_send(src, dst, message, latency))
 
     def _reliable_send(
         self,
@@ -470,6 +726,9 @@ class _Federation:
         latency: float,
         ack_event: Event,
     ):
+        """Acknowledged transmission; returns True when acked, False when
+        all ``max_retries`` retransmissions went unanswered.  Never raises:
+        retry exhaustion is the *caller's* signal to start failing over."""
         for attempt in range(self.config.max_retries + 1):
             self.network.send(
                 src, dst, message, latency=latency, size=message.size
@@ -479,11 +738,155 @@ class _Federation:
             timeout = self.env.timeout(self.config.retransmit_timeout)
             yield self.env.any_of([ack_event, timeout])
             if ack_event.processed:
+                return True
+        return False
+
+    def _supervised_send(
+        self,
+        src: ServiceInstance,
+        dst: ServiceInstance,
+        message: SFederate,
+        latency: float,
+    ):
+        """Drive one ``sfederate`` to *some* live instance of its service.
+
+        The happy path is a single acknowledged send.  On retry exhaustion
+        the target is suspected dead and, failover permitting, the sender
+        re-runs its local planning step (suspects excluded), re-pins the
+        service, and re-sends to the next-best candidate -- backing off
+        exponentially between attempts.  Everything that cannot be resolved
+        locally escalates to a bounded re-federation."""
+        target, msg, lat = dst, message, latency
+        round_index = 0
+        while True:
+            ack_event = self.env.event()
+            self._pending_acks[msg.msg_id] = ack_event
+            acked = yield from self._reliable_send(src, target, msg, lat, ack_event)
+            if acked:
                 return
-        raise FederationError(
-            f"sfederate {message.msg_id} from {src} to {dst} lost "
-            f"{self.config.max_retries + 1} times; giving up"
+            self._pending_acks.pop(msg.msg_id, None)
+            if self.done.triggered or msg.generation < self.generation:
+                return  # run settled or superseded by a re-federation
+            self.suspected.add(target)
+            self._log(
+                "retry_exhausted",
+                f"{target} never acked sfederate {msg.msg_id} from {src} "
+                f"({self.config.max_retries + 1} transmissions)",
+            )
+            if not self.config.failover:
+                self._fail_run(
+                    f"sfederate {msg.msg_id} from {src} to {target} lost "
+                    f"{self.config.max_retries + 1} times; failover disabled"
+                )
+                return
+            if self.requirement.in_degree(target.sid) > 1:
+                self._log(
+                    "abandon",
+                    f"{target.sid!r} is a merge service pinned by a remote "
+                    f"dominator; local failover at {src} would fork the pin",
+                )
+                self._try_refederate(
+                    f"merge service {target.sid!r} lost instance {target}"
+                )
+                return
+            if self.failovers >= self.config.max_failovers:
+                self._log(
+                    "abandon",
+                    f"failover budget ({self.config.max_failovers}) exhausted",
+                )
+                self._try_refederate("failover budget exhausted")
+                return
+            backoff = self.config.failover_backoff * (2 ** round_index)
+            round_index += 1
+            yield self.env.timeout(backoff)
+            if self.done.triggered or msg.generation < self.generation:
+                return
+            replacement = self._plan_failover(src, target, msg)
+            if replacement is None:
+                self._log(
+                    "abandon",
+                    f"no live alternative instance for {target.sid!r}",
+                )
+                self._try_refederate(
+                    f"service {target.sid!r} has no live alternative"
+                )
+                return
+            self.failovers += 1
+            new_target, new_msg, new_lat = replacement
+            self._log(
+                "failover",
+                f"{src} re-pinned {target.sid!r}: {target} -> {new_target} "
+                f"(backoff {backoff:g})",
+            )
+            target, msg, lat = new_target, new_msg, new_lat
+
+    def _plan_failover(
+        self,
+        src: ServiceInstance,
+        dead: ServiceInstance,
+        message: SFederate,
+    ) -> Optional[Tuple[ServiceInstance, SFederate, float]]:
+        """Re-run ``src``'s local planning step with suspects excluded and
+        rebuild the sfederate for the next-best instance of ``dead.sid``."""
+        my_sid = src.sid
+        residual = self.requirement.downstream_closure(my_sid)
+        pins = {
+            sid: inst
+            for sid, inst in message.pins
+            if inst not in self.suspected
+        }
+        pins[my_sid] = src
+        started = time.perf_counter()
+        planning = _PlanningView(
+            residual,
+            self.local_view(src),
+            self.directory,
+            pins,
+            self.hints,
+            excluded=frozenset(self.suspected),
         )
+        solver = ReductionSolver(
+            pareto=self.config.pareto,
+            enumeration_limit=self.config.enumeration_limit,
+        )
+        replacement: Optional[ServiceInstance] = None
+        try:
+            assignment, _quality = solver.solve_assignment(
+                residual, planning, source_instance=src
+            )
+            replacement = assignment.get(dead.sid)
+        except FederationError:
+            replacement = None
+        self.record_compute(src, time.perf_counter() - started)
+        if replacement is None or replacement in self.suspected:
+            replacement = self._live_alternative(dead.sid)
+        if replacement is None:
+            return None
+        new_pins = message.pin_map()
+        new_pins[dead.sid] = replacement
+        repins = dict(message.repins)
+        repins[dead.sid] = repins.get(dead.sid, 0) + 1
+        flow_edge = self.realize_edge(src, replacement)
+        out_edges = {
+            edge.requirement_edge: edge
+            for edge in message.edges
+            if dead not in (edge.src, edge.dst)
+        }
+        out_edges[flow_edge.requirement_edge] = flow_edge
+        new_msg = SFederate(
+            residual=message.residual,
+            pins=tuple(sorted(new_pins.items())),
+            edges=tuple(out_edges[k] for k in sorted(out_edges)),
+            msg_id=self.next_msg_id(),
+            generation=message.generation,
+            repins=tuple(sorted(repins.items())),
+        )
+        latency = (
+            flow_edge.quality.latency
+            if flow_edge.quality.reachable
+            else self.fallback_latency
+        )
+        return replacement, new_msg, latency
 
     def send_ack(
         self, src: ServiceInstance, dst, msg_id: int
@@ -497,6 +900,71 @@ class _Federation:
         pending = self._pending_acks.pop(msg_id, None)
         if pending is not None and not pending.triggered:
             pending.succeed()
+
+    # -- re-federation (consumer-side recovery) ----------------------------------
+
+    def _try_refederate(self, reason: str) -> bool:
+        """Restart the protocol for the residual requirement (which, seen
+        from the consumer, is the full requirement: partially committed
+        branches upstream of a loss cannot be trusted).  Bounded by
+        ``max_refederations``; exhaustion fails the run structurally."""
+        if self.done.triggered:
+            return False
+        if self.refederations >= self.config.max_refederations:
+            self._fail_run(
+                f"unrecoverable: {reason} "
+                f"(after {self.refederations} re-federation(s))"
+            )
+            return False
+        for sid, pool in self.directory.items():
+            if all(inst in self.suspected for inst in pool):
+                self._fail_run(
+                    f"unrecoverable: required service {sid!r} has no live "
+                    f"instance ({reason})"
+                )
+                return False
+        if self.source_instance in self.suspected:
+            self._fail_run(
+                f"unrecoverable: pinned source instance "
+                f"{self.source_instance} is dead ({reason})"
+            )
+            return False
+        self.refederations += 1
+        self.generation += 1
+        self._sink_parts.clear()
+        self._log(
+            "refederate",
+            f"round {self.generation}: restarting the residual requirement "
+            f"({reason}); {len(self.suspected)} suspect(s) excluded",
+        )
+        initial = SFederate(
+            residual=self.requirement,
+            pins=((self.requirement.source, self.source_instance),),
+            edges=(),
+            generation=self.generation,
+        )
+        self.network.send(
+            "consumer",
+            self.source_instance,
+            initial,
+            latency=self.config.initial_latency,
+            size=initial.size,
+        )
+        return True
+
+    def _watchdog(self):
+        """Sink-side deadline enforcement: every expired window burns one
+        re-federation; running out of them fails the run."""
+        while True:
+            yield self.env.timeout(self.config.deadline)
+            if self.done.triggered:
+                return
+            self._log(
+                "deadline_expired",
+                f"no complete flow graph by t={self.env.now:g}",
+            )
+            if not self._try_refederate("deadline expired"):
+                return
 
     # -- services used by nodes ------------------------------------------------
 
@@ -525,9 +993,13 @@ class _Federation:
         self,
         sink_sid: Sid,
         pins: Dict[Sid, ServiceInstance],
+        pin_gens: Dict[Sid, int],
         edges: Dict[Tuple[Sid, Sid], FlowEdge],
+        generation: int,
     ) -> None:
-        self._sink_parts[sink_sid] = (pins, edges)
+        if generation != self.generation:
+            return  # a stale round's sink part; the restart superseded it
+        self._sink_parts[sink_sid] = (dict(pins), dict(pin_gens), dict(edges))
         if len(self._sink_parts) == len(self.requirement.sinks) and not (
             self.done.triggered
         ):
@@ -537,8 +1009,14 @@ class _Federation:
 
     def run(self) -> SFlowResult:
         nodes = [_SFlowNode(inst, self) for inst in self.overlay.instances()]
+        self._nodes = {node.me: node for node in nodes}
         for node in nodes:
             self.env.process(node.run())
+        if self.chaos is not None:
+            for event in self.chaos.schedule.events:
+                self.env.process(self._chaos_driver(event))
+        if self.config.deadline is not None:
+            self.env.process(self._watchdog())
         initial = SFederate(
             residual=self.requirement,
             pins=((self.requirement.source, self.source_instance),),
@@ -551,19 +1029,24 @@ class _Federation:
             latency=self.config.initial_latency,
             size=initial.size,
         )
-        self.env.run(until=self.done)
-        assignment: Dict[Sid, ServiceInstance] = {}
-        edges: Dict[Tuple[Sid, Sid], FlowEdge] = {}
-        for pins, part_edges in self._sink_parts.values():
-            for sid, inst in pins.items():
-                existing = assignment.get(sid)
-                if existing is not None and existing != inst:
-                    raise FederationError(
-                        f"sinks disagree on {sid!r}: {existing} vs {inst}"
-                    )
-                assignment[sid] = inst
-            edges.update(part_edges)
-        graph = ServiceFlowGraph(self.requirement, assignment, edges.values())
+        try:
+            self.env.run(until=self.done)
+        except FederationError as exc:
+            # A node hit a protocol invariant violation mid-simulation;
+            # surface it as a structured failure, never as an exception
+            # escaping Environment.run().
+            self._fail_run(f"protocol error: {exc}", force=True)
+        except SimulationError as exc:
+            # The event queue drained without completing -- e.g. every
+            # message path died with no failover/deadline left to drive
+            # recovery.  Starvation is a failure, not a crash.
+            self._fail_run(f"protocol starved: {exc}", force=True)
+        graph: Optional[ServiceFlowGraph] = None
+        if not self.failed:
+            try:
+                graph = self._assemble()
+            except FederationError as exc:
+                self._fail_run(f"assembly failed: {exc}", force=True)
         return SFlowResult(
             flow_graph=graph,
             convergence_time=self.env.now,
@@ -576,7 +1059,41 @@ class _Federation:
             retransmissions=self.retransmissions,
             lost_messages=self.network.stats.lost,
             acks=self.acks_sent,
+            outcome=(
+                FederationOutcome.SUCCEEDED
+                if graph is not None
+                else FederationOutcome.FAILED
+            ),
+            failure_reason=self.failure_reason,
+            recovery_log=tuple(self.recovery_log),
+            crashes=self.crashes,
+            failovers=self.failovers,
+            refederations=self.refederations,
         )
+
+    def _assemble(self) -> ServiceFlowGraph:
+        assignment: Dict[Sid, ServiceInstance] = {}
+        gens: Dict[Sid, int] = {}
+        edges: Dict[Tuple[Sid, Sid], FlowEdge] = {}
+        for pins, pin_gens, part_edges in self._sink_parts.values():
+            for sid, inst in pins.items():
+                gen = pin_gens.get(sid, 0)
+                existing = assignment.get(sid)
+                if existing is None or gen > gens[sid]:
+                    assignment[sid] = inst
+                    gens[sid] = gen
+                elif gen == gens[sid] and existing != inst:
+                    raise FederationError(
+                        f"sinks disagree on {sid!r}: {existing} vs {inst}"
+                    )
+            edges.update(part_edges)
+        edges = {
+            key: edge
+            for key, edge in edges.items()
+            if assignment.get(edge.src.sid) == edge.src
+            and assignment.get(edge.dst.sid) == edge.dst
+        }
+        return ServiceFlowGraph(self.requirement, assignment, edges.values())
 
 
 class SFlowAlgorithm:
@@ -585,8 +1102,8 @@ class SFlowAlgorithm:
 
     ``solve`` runs a complete simulated federation and returns the final
     flow graph; the full :class:`SFlowResult` (convergence time, message
-    counts, per-node compute) of the most recent run is kept in
-    :attr:`last_result`.
+    counts, per-node compute, recovery log) of the most recent run is kept
+    in :attr:`last_result`.
     """
 
     name = "sflow"
@@ -602,10 +1119,15 @@ class SFlowAlgorithm:
         *,
         source_instance: Optional[ServiceInstance] = None,
         rng: Optional[random.Random] = None,
+        chaos: Optional[ChaosPlan] = None,
     ) -> ServiceFlowGraph:
         result = self.federate(
-            requirement, overlay, source_instance=source_instance
+            requirement, overlay, source_instance=source_instance, chaos=chaos
         )
+        if result.flow_graph is None:
+            raise FederationError(
+                result.failure_reason or "federation failed"
+            )
         return result.flow_graph
 
     def federate(
@@ -614,8 +1136,15 @@ class SFlowAlgorithm:
         overlay: OverlayGraph,
         *,
         source_instance: Optional[ServiceInstance] = None,
+        chaos: Optional[ChaosPlan] = None,
     ) -> SFlowResult:
-        """Run the distributed federation and return the full result."""
+        """Run the distributed federation and return the full result.
+
+        With a :class:`~repro.network.failures.ChaosPlan` the run is
+        disturbed mid-protocol; recovery is attempted per the config and an
+        unrecoverable run comes back as a structured
+        ``outcome=FederationOutcome.FAILED`` result -- this method never
+        raises for in-protocol failures."""
         if source_instance is None:
             pool = overlay.instances_of(requirement.source)
             if not pool:
@@ -623,6 +1152,8 @@ class SFlowAlgorithm:
                     f"source service {requirement.source!r} has no instance"
                 )
             source_instance = pool[0]
-        federation = _Federation(requirement, overlay, source_instance, self.config)
+        federation = _Federation(
+            requirement, overlay, source_instance, self.config, chaos
+        )
         self.last_result = federation.run()
         return self.last_result

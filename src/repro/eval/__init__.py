@@ -5,6 +5,8 @@
   producing tidy per-trial records.
 * :mod:`repro.eval.figures` -- regenerates each figure panel as a printed
   table / CSV (``python -m repro.eval.figures all``).
+* :mod:`repro.eval.robustness` -- the crash-tolerance sweep: crash rate x
+  network size under mid-protocol chaos plans.
 * :mod:`repro.eval.stats` -- tiny statistics helpers (means, confidence
   intervals) so the harness has no plotting dependencies.
 """
@@ -19,13 +21,27 @@ from repro.eval.experiments import (
 from repro.eval.stats import mean, sample_stdev, confidence_interval_95
 from repro.eval.campaign import CampaignResult, run_campaign
 from repro.eval.churn import ChurnConfig, ChurnReport, run_churn_experiment
+from repro.eval.robustness import (
+    RobustnessCell,
+    RobustnessConfig,
+    RobustnessExperiment,
+    RobustnessRecord,
+    run_robustness,
+    summarize,
+)
 
 __all__ = [
     "CampaignResult",
     "ChurnConfig",
     "ChurnReport",
+    "RobustnessCell",
+    "RobustnessConfig",
+    "RobustnessExperiment",
+    "RobustnessRecord",
     "run_campaign",
     "run_churn_experiment",
+    "run_robustness",
+    "summarize",
     "EvaluationConfig",
     "TrialRecord",
     "confidence_interval_95",

@@ -177,6 +177,43 @@ def fig10d(
     )
 
 
+def fig_robustness(
+    config: Optional["RobustnessConfig"] = None,
+    records: Optional[Sequence["RobustnessRecord"]] = None,
+) -> FigureTable:
+    """Crash-tolerance panel: federation success rate vs network size,
+    one series per mid-protocol crash rate (beyond the paper -- the
+    "agile" claim stress-tested while the protocol runs)."""
+    from repro.eval.robustness import RobustnessConfig, run_robustness, summarize
+
+    config = config or RobustnessConfig()
+    if records is None:
+        records = run_robustness(config)
+    cells = summarize(list(records))
+    by_rate: Dict[str, List[float]] = {}
+    for rate in config.crash_rates:
+        series: List[float] = []
+        for size in config.network_sizes:
+            cell = next(
+                (
+                    c
+                    for c in cells
+                    if c.network_size == size and c.crash_rate == rate
+                ),
+                None,
+            )
+            series.append(cell.success_rate if cell is not None else math.nan)
+        by_rate[f"crash={rate:g}"] = series
+    return FigureTable(
+        figure="crash_tolerance",
+        title="Federation success under mid-protocol crash-stop failures",
+        xlabel="Network Size",
+        ylabel="Federation Success Rate",
+        sizes=config.network_sizes,
+        series={name: tuple(values) for name, values in by_rate.items()},
+    )
+
+
 ALL_FIGURES = {
     "fig10a": fig10a,
     "fig10b": fig10b,
@@ -304,8 +341,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "figure",
-        choices=sorted(ALL_FIGURES) + ["all"],
-        help="which panel to regenerate",
+        choices=sorted(ALL_FIGURES) + ["robustness", "all"],
+        help=(
+            "which panel to regenerate ('all' covers the Fig. 10 panels; "
+            "'robustness' runs the crash-tolerance sweep)"
+        ),
     )
     parser.add_argument("--trials", type=int, default=20, help="trials per size")
     parser.add_argument(
@@ -335,7 +375,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         else None
     )
     for name in wanted:
-        if name == "fig10b":
+        if name == "robustness":
+            from repro.eval.robustness import RobustnessConfig
+
+            table = fig_robustness(
+                RobustnessConfig(
+                    network_sizes=tuple(args.sizes),
+                    trials=args.trials,
+                    n_services=args.services,
+                    horizon=args.horizon,
+                    seed=args.seed,
+                )
+            )
+        elif name == "fig10b":
             table = fig10b(config)
         else:
             table = ALL_FIGURES[name](config, records=shared)

@@ -1,0 +1,301 @@
+"""Robustness sweep: federation survival under mid-protocol crash-stop chaos.
+
+The `RobustnessExperiment` answers the question the Fig. 10 panels cannot:
+what happens when service nodes die *while* the sfederate protocol is
+running?  For every ``(network size, crash rate)`` cell it runs ``trials``
+seeded scenarios twice -- once undisturbed (the baseline) and once under a
+:class:`~repro.network.failures.ChaosPlan` that crashes a ``crash rate``
+fraction of the overlay's instances at seeded times inside the federation
+window -- and reports:
+
+* **success rate**: fraction of runs that still produced a complete flow
+  graph (failover + bounded re-federation doing their job);
+* **quality degradation**: bandwidth / latency of the recovered graph
+  relative to the crash-free baseline (failing over to the next-best
+  instance is allowed to cost quality, not correctness);
+* **recovery overhead**: extra protocol messages and extra virtual time
+  relative to the baseline run.
+
+At crash rate 0 the sweep degenerates to a determinism check: the run must
+reproduce the crash-free baseline **bit-for-bit** (same seeds, same flow
+graphs, same message counts), proving the crash-tolerance machinery is
+behaviour-preserving on the happy path.  ``identical_to_baseline`` records
+exactly that comparison.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.sflow import SFlowAlgorithm, SFlowConfig, SFlowResult
+from repro.eval.experiments import _trial_seed
+from repro.network.failures import ChaosPlan, FailureInjector
+from repro.services.workloads import Scenario, ScenarioConfig, generate_scenario
+
+
+@dataclass
+class RobustnessConfig:
+    """Sweep parameters for the crash-tolerance experiment.
+
+    The protocol knobs (``retransmit_timeout``, ``max_retries``,
+    ``failover_backoff``, ``deadline``) are deliberately tighter than the
+    :class:`~repro.core.sflow.SFlowConfig` defaults: a robustness sweep
+    measures recovery, so suspicion must be cheap and deadlines must be
+    reachable within a short simulated window.
+    """
+
+    network_sizes: Tuple[int, ...] = (10, 20, 30)
+    crash_rates: Tuple[float, ...] = (0.0, 0.1, 0.2, 0.3)
+    trials: int = 10
+    n_services: int = 5
+    horizon: int = 2
+    #: Crash times are drawn uniformly from ``[0, crash_window)`` -- inside
+    #: the federation run, which is the whole point.
+    crash_window: float = 40.0
+    revive_after: Optional[float] = None
+    retransmit_timeout: float = 10.0
+    max_retries: int = 2
+    failover_backoff: float = 5.0
+    max_failovers: int = 8
+    deadline: Optional[float] = 600.0
+    max_refederations: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise ValueError("need at least one trial")
+        if not self.network_sizes:
+            raise ValueError("need at least one network size")
+        if not self.crash_rates:
+            raise ValueError("need at least one crash rate")
+        for rate in self.crash_rates:
+            if not (0.0 <= rate <= 1.0):
+                raise ValueError(f"crash rates must be in [0, 1], got {rate}")
+
+    def instance_range(self, network_size: int) -> Tuple[int, int]:
+        """Instances per service, scaled with the network like the Fig. 10
+        sweeps (every network node is a service node)."""
+        per_service = max(1, round(network_size / self.n_services))
+        return (max(1, per_service - 1), per_service + 1)
+
+    def protocol_config(self) -> SFlowConfig:
+        """The :class:`SFlowConfig` every run (baseline and chaotic) uses."""
+        return SFlowConfig(
+            horizon=self.horizon,
+            retransmit_timeout=self.retransmit_timeout,
+            max_retries=self.max_retries,
+            failover_backoff=self.failover_backoff,
+            max_failovers=self.max_failovers,
+            deadline=self.deadline,
+            max_refederations=self.max_refederations,
+        )
+
+
+@dataclass
+class RobustnessRecord:
+    """One chaotic run compared against its crash-free baseline."""
+
+    network_size: int
+    crash_rate: float
+    trial: int
+    succeeded: bool
+    bandwidth: float
+    latency: float
+    baseline_bandwidth: float
+    baseline_latency: float
+    messages: int
+    baseline_messages: int
+    convergence_time: float
+    baseline_convergence: float
+    crashes: int
+    failovers: int
+    refederations: int
+    recovery_events: int
+    failure_reason: str = ""
+    #: True iff the run reproduced the baseline flow graph exactly (same
+    #: assignment, same message count, same convergence time) -- the
+    #: bit-for-bit check that must hold at crash rate 0.
+    identical_to_baseline: bool = False
+
+    @property
+    def bandwidth_degradation(self) -> float:
+        """Fractional bandwidth lost vs the baseline (0 = none)."""
+        if not self.succeeded or self.baseline_bandwidth <= 0:
+            return 1.0
+        return max(0.0, 1.0 - self.bandwidth / self.baseline_bandwidth)
+
+    @property
+    def extra_messages(self) -> int:
+        """Recovery overhead in protocol messages."""
+        return max(0, self.messages - self.baseline_messages)
+
+    @property
+    def extra_time(self) -> float:
+        """Recovery overhead in virtual time."""
+        return max(0.0, self.convergence_time - self.baseline_convergence)
+
+
+class RobustnessExperiment:
+    """The crash rate x network size sweep (see the module docstring)."""
+
+    def __init__(self, config: Optional[RobustnessConfig] = None) -> None:
+        self.config = config or RobustnessConfig()
+
+    def _scenario(self, size: int, trial: int) -> Scenario:
+        seed = _trial_seed(self.config.seed, size, trial)
+        return generate_scenario(
+            ScenarioConfig(
+                network_size=size,
+                n_services=self.config.n_services,
+                instances_per_service=self.config.instance_range(size),
+                seed=seed,
+            )
+        )
+
+    def _chaos(self, scenario: Scenario, crash_rate: float) -> Optional[ChaosPlan]:
+        if crash_rate <= 0:
+            return None
+        chaos_seed = scenario.seed ^ 0xC0FFEE
+        injector = FailureInjector(
+            random.Random(chaos_seed),
+            protect=[scenario.source_instance],
+        )
+        return injector.chaos_plan(
+            scenario.overlay,
+            crash_rate=crash_rate,
+            window=self.config.crash_window,
+            revive_after=self.config.revive_after,
+            seed=chaos_seed,
+        )
+
+    def run(self) -> List[RobustnessRecord]:
+        records: List[RobustnessRecord] = []
+        protocol = self.config.protocol_config()
+        for size in self.config.network_sizes:
+            for trial in range(self.config.trials):
+                scenario = self._scenario(size, trial)
+                baseline = SFlowAlgorithm(protocol).federate(
+                    scenario.requirement,
+                    scenario.overlay,
+                    source_instance=scenario.source_instance,
+                )
+                for rate in self.config.crash_rates:
+                    result = SFlowAlgorithm(protocol).federate(
+                        scenario.requirement,
+                        scenario.overlay,
+                        source_instance=scenario.source_instance,
+                        chaos=self._chaos(scenario, rate),
+                    )
+                    records.append(
+                        self._record(size, rate, trial, baseline, result)
+                    )
+        return records
+
+    @staticmethod
+    def _record(
+        size: int,
+        rate: float,
+        trial: int,
+        baseline: SFlowResult,
+        result: SFlowResult,
+    ) -> RobustnessRecord:
+        succeeded = result.flow_graph is not None
+        quality = result.flow_graph.quality() if succeeded else None
+        base_quality = (
+            baseline.flow_graph.quality()
+            if baseline.flow_graph is not None
+            else None
+        )
+        identical = (
+            succeeded
+            and baseline.flow_graph is not None
+            and result.flow_graph.assignment == baseline.flow_graph.assignment
+            and result.messages == baseline.messages
+            and result.convergence_time == baseline.convergence_time
+        )
+        return RobustnessRecord(
+            network_size=size,
+            crash_rate=rate,
+            trial=trial,
+            succeeded=succeeded,
+            bandwidth=quality.bandwidth if quality else 0.0,
+            latency=quality.latency if quality else float("inf"),
+            baseline_bandwidth=base_quality.bandwidth if base_quality else 0.0,
+            baseline_latency=(
+                base_quality.latency if base_quality else float("inf")
+            ),
+            messages=result.messages,
+            baseline_messages=baseline.messages,
+            convergence_time=result.convergence_time,
+            baseline_convergence=baseline.convergence_time,
+            crashes=result.crashes,
+            failovers=result.failovers,
+            refederations=result.refederations,
+            recovery_events=len(result.recovery_log),
+            failure_reason=result.failure_reason,
+            identical_to_baseline=identical,
+        )
+
+
+def run_robustness(
+    config: Optional[RobustnessConfig] = None,
+) -> List[RobustnessRecord]:
+    """Convenience wrapper mirroring :func:`repro.eval.experiments.run_evaluation`."""
+    return RobustnessExperiment(config).run()
+
+
+@dataclass
+class RobustnessCell:
+    """Aggregates of one ``(network size, crash rate)`` sweep cell."""
+
+    network_size: int
+    crash_rate: float
+    trials: int
+    success_rate: float
+    mean_bandwidth_degradation: float
+    mean_extra_messages: float
+    mean_extra_time: float
+    mean_failovers: float
+    mean_refederations: float
+    all_identical_to_baseline: bool
+
+
+def summarize(records: List[RobustnessRecord]) -> List[RobustnessCell]:
+    """Collapse trial records into per-cell aggregates, cell-sorted."""
+    from repro.eval.stats import mean
+
+    cells: Dict[Tuple[int, float], List[RobustnessRecord]] = {}
+    for record in records:
+        cells.setdefault((record.network_size, record.crash_rate), []).append(
+            record
+        )
+    out: List[RobustnessCell] = []
+    for (size, rate), bucket in sorted(cells.items()):
+        survivors = [r for r in bucket if r.succeeded]
+        out.append(
+            RobustnessCell(
+                network_size=size,
+                crash_rate=rate,
+                trials=len(bucket),
+                success_rate=len(survivors) / len(bucket),
+                mean_bandwidth_degradation=(
+                    mean([r.bandwidth_degradation for r in survivors])
+                    if survivors
+                    else 1.0
+                ),
+                mean_extra_messages=mean(
+                    [float(r.extra_messages) for r in bucket]
+                ),
+                mean_extra_time=mean([r.extra_time for r in bucket]),
+                mean_failovers=mean([float(r.failovers) for r in bucket]),
+                mean_refederations=mean(
+                    [float(r.refederations) for r in bucket]
+                ),
+                all_identical_to_baseline=all(
+                    r.identical_to_baseline for r in bucket
+                ),
+            )
+        )
+    return out

@@ -11,11 +11,16 @@ link failures.  This module provides the failure side of that story --
   removing connectivity (congestion, flash crowds);
 * :class:`FailureInjector` -- seeded random failure plans over an overlay,
   with the guarantee knobs experiments need (e.g. never kill the pinned
-  source instance, keep at least one instance per service).
+  source instance, keep at least one instance per service);
+* :class:`CrashSchedule` / :class:`ChaosPlan` -- **timed** crash-stop
+  failures (with optional revival) plus message-loss and delivery-jitter
+  knobs, consumed by the sFlow runtime to kill nodes *while the federation
+  protocol is still running* (mid-protocol chaos), not just afterwards.
 
-All operations are **pure**: they return a new
+All overlay operations are **pure**: they return a new
 :class:`~repro.network.overlay.OverlayGraph` and leave the input intact, so
-an experiment can hold the before/after pair side by side.
+an experiment can hold the before/after pair side by side.  Chaos plans are
+immutable values; the simulator interprets them.
 """
 
 from __future__ import annotations
@@ -69,12 +74,14 @@ def degrade_links(
 ) -> OverlayGraph:
     """Scale the quality of the given links (congestion model).
 
-    ``bandwidth_factor`` multiplies capacity (must be > 0),
-    ``latency_factor`` multiplies delay (must be >= 1 -- congestion never
-    speeds links up).
+    ``bandwidth_factor`` multiplies capacity (must be in ``(0, 1]`` -- a
+    degradation never *adds* capacity), ``latency_factor`` multiplies delay
+    (must be >= 1 -- congestion never speeds links up).
     """
-    if bandwidth_factor <= 0:
-        raise ValueError(f"bandwidth_factor must be > 0, got {bandwidth_factor}")
+    if not (0 < bandwidth_factor <= 1):
+        raise ValueError(
+            f"bandwidth_factor must be in (0, 1], got {bandwidth_factor}"
+        )
     if latency_factor < 1:
         raise ValueError(f"latency_factor must be >= 1, got {latency_factor}")
     victim_set = set(victims)
@@ -103,8 +110,42 @@ class FailurePlan:
     failed_instances: Tuple[ServiceInstance, ...] = ()
     failed_links: Tuple[Tuple[ServiceInstance, ServiceInstance], ...] = ()
 
+    def validate_against(self, overlay: OverlayGraph) -> None:
+        """Reject a plan that references anything absent from ``overlay``.
+
+        Raises :class:`~repro.errors.SFlowError` naming *every* unknown
+        instance and link, so a mis-built experiment fails loudly instead of
+        silently under-injecting failures.
+        """
+        unknown_instances = [
+            inst for inst in self.failed_instances if inst not in overlay
+        ]
+        unknown_links = [
+            (src, dst)
+            for src, dst in self.failed_links
+            if overlay.link(src, dst) is None
+        ]
+        problems = []
+        if unknown_instances:
+            problems.append(
+                "unknown instances: "
+                + ", ".join(str(i) for i in unknown_instances)
+            )
+        if unknown_links:
+            problems.append(
+                "unknown links: "
+                + ", ".join(f"{s} -> {d}" for s, d in unknown_links)
+            )
+        if problems:
+            raise SFlowError(
+                "failure plan references elements absent from the overlay ("
+                + "; ".join(problems)
+                + ")"
+            )
+
     def apply(self, overlay: OverlayGraph) -> OverlayGraph:
-        """The post-failure overlay."""
+        """The post-failure overlay (validates the plan first)."""
+        self.validate_against(overlay)
         result = overlay
         if self.failed_links:
             result = fail_links(result, self.failed_links)
@@ -184,3 +225,162 @@ class FailureInjector:
         if clash:
             raise SFlowError(f"refusing to fail protected instances {clash}")
         return FailurePlan(failed_instances=tuple(sorted(victims)))
+
+    # -- timed (mid-protocol) chaos ---------------------------------------------
+
+    def crash_schedule(
+        self,
+        overlay: OverlayGraph,
+        *,
+        count: Optional[int] = None,
+        crash_rate: Optional[float] = None,
+        window: float = 50.0,
+        start: float = 0.0,
+        revive_after: Optional[float] = None,
+    ) -> "CrashSchedule":
+        """Seeded crash-stop times for a federation run in progress.
+
+        Exactly one of ``count`` (absolute victims) or ``crash_rate``
+        (fraction of the overlay's instances, rounded) selects how many
+        instances crash.  Victims are chosen like
+        :meth:`instance_failures` (respecting ``protect`` and
+        ``keep_service_alive``); each receives a crash time drawn uniformly
+        from ``[start, start + window)`` and, when ``revive_after`` is set,
+        a revival ``revive_after`` time units later.
+        """
+        if (count is None) == (crash_rate is None):
+            raise ValueError("pass exactly one of count / crash_rate")
+        if crash_rate is not None:
+            if not (0.0 <= crash_rate <= 1.0):
+                raise ValueError(f"crash_rate must be in [0, 1], got {crash_rate}")
+            count = int(round(crash_rate * len(overlay)))
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        if window <= 0:
+            raise ValueError("window must be > 0")
+        if start < 0:
+            raise ValueError("start must be >= 0")
+        if revive_after is not None and revive_after <= 0:
+            raise ValueError("revive_after must be > 0 (or None)")
+        victims = self.instance_failures(overlay, count).failed_instances
+        events = []
+        for victim in victims:
+            at = start + self._rng.uniform(0.0, window)
+            events.append(
+                CrashEvent(
+                    instance=victim,
+                    at=at,
+                    revive_at=None if revive_after is None else at + revive_after,
+                )
+            )
+        return CrashSchedule(events=tuple(sorted(events, key=lambda e: (e.at, e.instance))))
+
+    def chaos_plan(
+        self,
+        overlay: OverlayGraph,
+        *,
+        count: Optional[int] = None,
+        crash_rate: Optional[float] = None,
+        window: float = 50.0,
+        start: float = 0.0,
+        revive_after: Optional[float] = None,
+        loss_rate: float = 0.0,
+        delay_jitter: float = 0.0,
+        seed: Optional[int] = None,
+    ) -> "ChaosPlan":
+        """A full chaos plan: crash schedule plus loss / delay knobs."""
+        schedule = self.crash_schedule(
+            overlay,
+            count=count,
+            crash_rate=crash_rate,
+            window=window,
+            start=start,
+            revive_after=revive_after,
+        )
+        return ChaosPlan(
+            schedule=schedule,
+            loss_rate=loss_rate,
+            delay_jitter=delay_jitter,
+            seed=self._rng.randrange(2**31) if seed is None else seed,
+        )
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """One timed crash-stop: ``instance`` dies at ``at``; if ``revive_at``
+    is set the instance comes back (with empty volatile state) then."""
+
+    instance: ServiceInstance
+    at: float
+    revive_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"crash time must be >= 0, got {self.at}")
+        if self.revive_at is not None and self.revive_at <= self.at:
+            raise ValueError(
+                f"revival ({self.revive_at}) must come after the crash ({self.at})"
+            )
+
+
+@dataclass(frozen=True)
+class CrashSchedule:
+    """An ordered set of timed crash-stop events (one per instance)."""
+
+    events: Tuple[CrashEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        seen: Set[ServiceInstance] = set()
+        for event in self.events:
+            if event.instance in seen:
+                raise ValueError(
+                    f"duplicate crash event for {event.instance} "
+                    "(one timed crash per instance)"
+                )
+            seen.add(event.instance)
+
+    @property
+    def empty(self) -> bool:
+        return not self.events
+
+    def instances(self) -> Tuple[ServiceInstance, ...]:
+        return tuple(event.instance for event in self.events)
+
+    def validate_against(self, overlay: OverlayGraph) -> None:
+        unknown = [e.instance for e in self.events if e.instance not in overlay]
+        if unknown:
+            raise SFlowError(
+                "crash schedule references instances absent from the overlay: "
+                + ", ".join(str(i) for i in unknown)
+            )
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Everything that can go wrong during one federation run.
+
+    ``schedule`` kills nodes mid-protocol; ``loss_rate`` and
+    ``delay_jitter`` apply to every protocol message (seeded by ``seed``,
+    independently of any :class:`~repro.core.sflow.SFlowConfig` loss
+    process).  An inactive plan (no events, no loss, no jitter) leaves the
+    protocol's behaviour bit-for-bit identical to a run without one.
+    """
+
+    schedule: CrashSchedule = field(default_factory=CrashSchedule)
+    loss_rate: float = 0.0
+    delay_jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.loss_rate < 1.0):
+            raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
+        if self.delay_jitter < 0:
+            raise ValueError(f"delay_jitter must be >= 0, got {self.delay_jitter}")
+
+    @property
+    def active(self) -> bool:
+        return (
+            not self.schedule.empty
+            or self.loss_rate > 0
+            or self.delay_jitter > 0
+        )

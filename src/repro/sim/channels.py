@@ -6,13 +6,25 @@ that delivers an :class:`Envelope` into the destination's :class:`Mailbox`
 after a configurable latency.  The network keeps delivery statistics
 (messages, bytes, per-destination counts) so experiments can report protocol
 overhead without instrumenting every node.
+
+Failure semantics (for chaos experiments):
+
+* a **crashed** address (:meth:`MessageNetwork.crash`) models crash-stop
+  nodes: deliveries to it are silently discarded -- including messages
+  already in flight when the crash happens -- and its queued mail is
+  drained, so the owning process never wakes up again until a
+  :meth:`~MessageNetwork.revive`;
+* a **jitter function** adds per-message delivery delay on top of the
+  nominal latency (seed the callable's RNG for reproducible runs);
+* a **loss function** eats individual messages (the sender still pays for
+  the transmission).
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, Hashable, Optional
+from typing import Any, Callable, Deque, Dict, Hashable, Optional, Set
 
 from repro.errors import SimulationError
 from repro.sim.engine import Environment, Event
@@ -71,9 +83,23 @@ class Mailbox:
         """Number of envelopes queued (excluding ones already claimed)."""
         return len(self._items)
 
+    def clear(self) -> int:
+        """Discard all queued envelopes (crash-stop), returning the count.
+
+        Pending ``get()`` events are left untouched: the waiting process
+        simply never resumes until a new envelope arrives, which is exactly
+        the behaviour of a stopped node.
+        """
+        dropped = len(self._items)
+        self._items.clear()
+        return dropped
+
 
 #: ``latency_fn(src, dst, envelope) -> delay`` pluggable delivery model.
 LatencyFn = Callable[[Address, Address, Envelope], float]
+
+#: ``jitter_fn(src, dst, envelope) -> extra delay`` added to the latency.
+JitterFn = Callable[[Address, Address, Envelope], float]
 
 
 @dataclass
@@ -84,6 +110,7 @@ class NetworkStats:
     bytes: int = 0
     dropped: int = 0
     lost: int = 0
+    crash_dropped: int = 0
     per_destination: Dict[Address, int] = field(default_factory=dict)
 
 
@@ -104,12 +131,15 @@ class MessageNetwork:
         *,
         drop_unroutable: bool = False,
         loss_fn: Optional[Callable[[Address, Address, Envelope], bool]] = None,
+        jitter_fn: Optional[JitterFn] = None,
     ) -> None:
         self.env = env
         self._latency_fn = latency_fn
         self._drop_unroutable = drop_unroutable
         self._loss_fn = loss_fn
+        self._jitter_fn = jitter_fn
         self._mailboxes: Dict[Address, Mailbox] = {}
+        self._crashed: Set[Address] = set()
         self.stats = NetworkStats()
 
     # -- membership -------------------------------------------------------------
@@ -128,6 +158,31 @@ class MessageNetwork:
 
     def addresses(self):
         return sorted(self._mailboxes, key=repr)
+
+    # -- crash-stop failures -----------------------------------------------------
+
+    def crash(self, address: Address) -> None:
+        """Crash-stop ``address``: drop its queued mail and all future
+        deliveries (including messages currently in flight) until revived.
+
+        Crashing an unregistered address is allowed -- the crash schedule
+        may cover endpoints that never joined the protocol.
+        """
+        self._crashed.add(address)
+        box = self._mailboxes.get(address)
+        if box is not None:
+            self.stats.crash_dropped += box.clear()
+
+    def revive(self, address: Address) -> None:
+        """Bring a crashed address back; future deliveries succeed again."""
+        self._crashed.discard(address)
+
+    def is_crashed(self, address: Address) -> bool:
+        return address in self._crashed
+
+    @property
+    def crashed(self) -> frozenset:
+        return frozenset(self._crashed)
 
     # -- delivery ----------------------------------------------------------------
 
@@ -156,17 +211,34 @@ class MessageNetwork:
             latency = self._latency_fn(src, dst, envelope) if self._latency_fn else 0.0
         if latency < 0:
             raise SimulationError(f"negative delivery latency {latency}")
+        if self._jitter_fn is not None:
+            jitter = self._jitter_fn(src, dst, envelope)
+            if jitter < 0:
+                raise SimulationError(f"negative delivery jitter {jitter}")
+            latency += jitter
         self.stats.messages += 1
         self.stats.bytes += size
         self.stats.per_destination[dst] = self.stats.per_destination.get(dst, 0) + 1
+        if dst in self._crashed:
+            # The sender transmitted into the void; nothing arrives.
+            self.stats.crash_dropped += 1
+            return envelope
         if self._loss_fn is not None and self._loss_fn(src, dst, envelope):
             # The sender paid for the transmission; the network ate it.
             self.stats.lost += 1
             return envelope
         delivery = Event(self.env)
-        delivery.callbacks.append(lambda _e: box.put(envelope))
+        delivery.callbacks.append(lambda _e: self._deliver(box, envelope))
         delivery.succeed(delay=latency)
         return envelope
+
+    def _deliver(self, box: Mailbox, envelope: Envelope) -> None:
+        """Delivery-time crash check: a message in flight when its
+        destination crashes is discarded, not queued."""
+        if envelope.dst in self._crashed:
+            self.stats.crash_dropped += 1
+            return
+        box.put(envelope)
 
     def reset_stats(self) -> None:
         self.stats = NetworkStats()

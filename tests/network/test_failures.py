@@ -6,6 +6,9 @@ import pytest
 
 from repro.errors import SFlowError
 from repro.network.failures import (
+    ChaosPlan,
+    CrashEvent,
+    CrashSchedule,
     FailureInjector,
     FailurePlan,
     degrade_links,
@@ -82,6 +85,17 @@ class TestDegradeLinks:
         with pytest.raises(ValueError):
             degrade_links(overlay, [(SRC, MID1)], latency_factor=0.5)
 
+    def test_amplifying_bandwidth_factor_rejected(self, overlay):
+        # A degradation must never *add* capacity.
+        with pytest.raises(ValueError, match="bandwidth_factor"):
+            degrade_links(overlay, [(SRC, MID1)], bandwidth_factor=1.5)
+        with pytest.raises(ValueError, match="bandwidth_factor"):
+            degrade_links(overlay, [(SRC, MID1)], bandwidth_factor=-0.5)
+
+    def test_factor_of_exactly_one_allowed(self, overlay):
+        after = degrade_links(overlay, [(SRC, MID1)], bandwidth_factor=1.0)
+        assert after.link(SRC, MID1).metrics == overlay.link(SRC, MID1).metrics
+
     def test_unknown_link_rejected(self, overlay):
         with pytest.raises(KeyError):
             degrade_links(overlay, [(SRC, DST)])
@@ -101,6 +115,27 @@ class TestFailurePlan:
         assert plan.empty
         after = plan.apply(overlay)
         assert len(after) == len(overlay)
+
+    def test_apply_rejects_unknown_instance(self, overlay):
+        ghost = ServiceInstance("ghost", 9)
+        plan = FailurePlan(failed_instances=(ghost,))
+        with pytest.raises(SFlowError, match="ghost"):
+            plan.apply(overlay)
+
+    def test_apply_rejects_unknown_link(self, overlay):
+        plan = FailurePlan(failed_links=((SRC, DST),))  # no such direct link
+        with pytest.raises(SFlowError, match="unknown links"):
+            plan.apply(overlay)
+
+    def test_validation_reports_every_problem(self, overlay):
+        ghost = ServiceInstance("ghost", 9)
+        plan = FailurePlan(
+            failed_instances=(ghost,), failed_links=((SRC, DST),)
+        )
+        with pytest.raises(SFlowError) as excinfo:
+            plan.validate_against(overlay)
+        assert "unknown instances" in str(excinfo.value)
+        assert "unknown links" in str(excinfo.value)
 
 
 class TestFailureInjector:
@@ -161,3 +196,89 @@ class TestFailureInjector:
         victim = scenario.overlay.instances_of("hotel")[0]
         plan = injector.targeted_failure([victim])
         assert plan.failed_instances == (victim,)
+
+
+class TestCrashSchedule:
+    def test_events_validated(self):
+        with pytest.raises(ValueError):
+            CrashEvent(MID1, at=-1.0)
+        with pytest.raises(ValueError):
+            CrashEvent(MID1, at=5.0, revive_at=5.0)  # revival must be later
+        with pytest.raises(ValueError, match="duplicate"):
+            CrashSchedule(
+                events=(CrashEvent(MID1, at=1.0), CrashEvent(MID1, at=2.0))
+            )
+
+    def test_validate_against_overlay(self, overlay):
+        schedule = CrashSchedule(events=(CrashEvent(MID1, at=1.0),))
+        schedule.validate_against(overlay)  # known instance: fine
+        ghost = CrashSchedule(
+            events=(CrashEvent(ServiceInstance("ghost", 9), at=1.0),)
+        )
+        with pytest.raises(SFlowError, match="ghost"):
+            ghost.validate_against(overlay)
+
+    def test_injector_crash_schedule_is_seeded(self):
+        scenario = travel_agency_scenario()
+        schedules = [
+            FailureInjector(random.Random(11)).crash_schedule(
+                scenario.overlay, count=3, window=20.0
+            )
+            for _ in range(2)
+        ]
+        assert schedules[0] == schedules[1]
+        assert len(schedules[0].events) == 3
+        for event in schedules[0].events:
+            assert 0.0 <= event.at < 20.0
+            assert event.revive_at is None
+
+    def test_crash_rate_selects_fraction_of_overlay(self):
+        scenario = travel_agency_scenario()
+        injector = FailureInjector(
+            random.Random(3), keep_service_alive=False
+        )
+        schedule = injector.crash_schedule(scenario.overlay, crash_rate=0.5)
+        assert len(schedule.events) == round(0.5 * len(scenario.overlay))
+
+    def test_count_and_rate_are_mutually_exclusive(self):
+        scenario = travel_agency_scenario()
+        injector = FailureInjector(random.Random(0))
+        with pytest.raises(ValueError):
+            injector.crash_schedule(scenario.overlay, count=1, crash_rate=0.1)
+        with pytest.raises(ValueError):
+            injector.crash_schedule(scenario.overlay)
+
+    def test_revive_after_sets_revival_times(self):
+        scenario = travel_agency_scenario()
+        injector = FailureInjector(random.Random(5))
+        schedule = injector.crash_schedule(
+            scenario.overlay, count=2, revive_after=7.5
+        )
+        for event in schedule.events:
+            assert event.revive_at == pytest.approx(event.at + 7.5)
+
+
+class TestChaosPlan:
+    def test_inactive_by_default(self):
+        assert not ChaosPlan().active
+        assert ChaosPlan(loss_rate=0.1).active
+        assert ChaosPlan(delay_jitter=1.0).active
+        assert ChaosPlan(
+            schedule=CrashSchedule(events=(CrashEvent(MID1, at=1.0),))
+        ).active
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError):
+            ChaosPlan(loss_rate=1.0)
+        with pytest.raises(ValueError):
+            ChaosPlan(delay_jitter=-1.0)
+
+    def test_injector_builds_full_plan(self):
+        scenario = travel_agency_scenario()
+        injector = FailureInjector(random.Random(9))
+        plan = injector.chaos_plan(
+            scenario.overlay, count=2, loss_rate=0.05, delay_jitter=2.0, seed=42
+        )
+        assert plan.active
+        assert plan.seed == 42
+        assert len(plan.schedule.events) == 2

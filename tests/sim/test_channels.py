@@ -185,3 +185,105 @@ class TestMessageNetwork:
         net.send("src", "dst", "fast", latency=1)
         env.run(until=20)
         assert got == ["fast", "slow"]
+
+
+class TestCrashStop:
+    def test_crash_drains_queued_mail(self):
+        env = Environment()
+        net = MessageNetwork(env)
+        box = net.register("dst")
+        net.send("src", "dst", "queued", latency=0)
+        env.run(until=1)
+        assert len(box) == 1
+        net.crash("dst")
+        assert len(box) == 0
+        assert net.stats.crash_dropped == 1
+        assert net.is_crashed("dst")
+        assert "dst" in net.crashed
+
+    def test_send_to_crashed_address_is_silently_dropped(self):
+        env = Environment()
+        net = MessageNetwork(env)
+        box = net.register("dst")
+        net.crash("dst")
+        envelope = net.send("src", "dst", "void", latency=1)
+        assert envelope is not None  # the sender still paid
+        env.run(until=5)
+        assert len(box) == 0
+        assert box.received == 0
+        assert net.stats.messages == 1  # transmission counted
+        assert net.stats.crash_dropped == 1
+
+    def test_in_flight_message_dies_with_the_destination(self):
+        env = Environment()
+        net = MessageNetwork(env)
+        box = net.register("dst")
+
+        def crasher():
+            yield env.timeout(2)
+            net.crash("dst")
+
+        env.process(crasher())
+        net.send("src", "dst", "in-flight", latency=5)  # lands at 5 > 2
+        env.run(until=10)
+        assert box.received == 0
+        assert net.stats.crash_dropped == 1
+
+    def test_revive_restores_delivery(self):
+        env = Environment()
+        net = MessageNetwork(env)
+        box = net.register("dst")
+        net.crash("dst")
+        net.send("src", "dst", "lost", latency=0)
+        net.revive("dst")
+        net.send("src", "dst", "after", latency=0)
+        env.run(until=1)
+        assert not net.is_crashed("dst")
+        assert box.received == 1
+        assert len(box) == 1
+
+    def test_crashing_unregistered_address_is_allowed(self):
+        env = Environment()
+        net = MessageNetwork(env)
+        net.crash("ghost")  # the schedule may cover never-joined endpoints
+        assert net.is_crashed("ghost")
+
+    def test_pending_getter_never_resumes_after_crash(self):
+        env = Environment()
+        net = MessageNetwork(env)
+        box = net.register("dst")
+        woke = []
+
+        def receiver():
+            yield box.get()
+            woke.append(env.now)
+
+        env.process(receiver())
+        net.crash("dst")
+        net.send("src", "dst", "x", latency=0)
+        env.run(until=10)
+        assert woke == []
+
+
+class TestJitter:
+    def test_jitter_added_to_latency(self):
+        env = Environment()
+        net = MessageNetwork(env, jitter_fn=lambda s, d, e: 1.5)
+        box = net.register("dst")
+        times = []
+
+        def receiver():
+            yield box.get()
+            times.append(env.now)
+
+        env.process(receiver())
+        net.send("src", "dst", "x", latency=2.0)
+        env.run()
+        assert times == [3.5]
+
+    def test_negative_jitter_rejected(self):
+        env = Environment()
+        net = MessageNetwork(env, jitter_fn=lambda s, d, e: -0.1)
+        net.register("dst")
+        with pytest.raises(SimulationError, match="jitter"):
+            net.send("src", "dst", "x", latency=1.0)
