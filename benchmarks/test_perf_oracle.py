@@ -1,0 +1,191 @@
+"""Perf trajectory of the route oracle + parallel evaluation campaigns.
+
+This harness is the regression baseline future PRs measure against.  It
+times the routing-dominated hot paths three ways -- oracle off (the old
+recompute-from-scratch behaviour), oracle on cold, oracle on warm -- and
+emits a machine-readable record to ``benchmarks/results/perf_oracle.json``:
+
+* **repeated abstract-graph build**: cold vs. warm construction of the
+  same abstract graph (the oracle's bread-and-butter scenario; the warm
+  build must be >= 2x faster and the hit rate >= 50%, both asserted);
+* **Fig. 10 sweep at N=100/200**: end-to-end ``run_evaluation`` wall-clock
+  with the oracle enabled vs. disabled, plus cache hit rates (N=200 is
+  where the ``O(N^4)`` Table 1 step dominates -- expect order-of-magnitude
+  wins);
+* **parallel campaign**: the multiprocessing sweep vs. the serial sweep,
+  with the record tables checked identical (wall-clock timing fields
+  normalised).
+
+Scale knobs for CI smoke runs (the full defaults take a few minutes):
+
+    PERF_ORACLE_SIZES=30,40 PERF_ORACLE_TRIALS=1 \
+        pytest benchmarks/test_perf_oracle.py -s
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import List, Tuple
+
+from repro.eval.experiments import EvaluationConfig, TrialRecord, run_evaluation
+from repro.routing.oracle import RouteOracle
+from repro.services.abstract_graph import AbstractGraph
+from repro.services.workloads import ScenarioConfig, generate_scenario
+
+RESULTS_PATH = Path(__file__).parent / "results" / "perf_oracle.json"
+
+
+def _sizes() -> Tuple[int, ...]:
+    raw = os.environ.get("PERF_ORACLE_SIZES", "100,200")
+    return tuple(int(part) for part in raw.split(",") if part.strip())
+
+
+def _trials() -> int:
+    return int(os.environ.get("PERF_ORACLE_TRIALS", "1"))
+
+
+def _config(sizes: Tuple[int, ...], trials: int, *, workers: int = 0) -> EvaluationConfig:
+    return EvaluationConfig(
+        network_sizes=sizes, trials=trials, n_services=6, seed=0, workers=workers
+    )
+
+
+def _normalized(records: List[TrialRecord]) -> List[TrialRecord]:
+    """Zero the only wall-clock field so tables compare bit-for-bit."""
+    return [dataclasses.replace(r, elapsed_seconds=0.0) for r in records]
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def _measure_repeated_build(size: int, trials_config: EvaluationConfig) -> dict:
+    """Cold vs. warm abstract-graph build on one representative scenario."""
+    scenario = generate_scenario(
+        ScenarioConfig(
+            network_size=size,
+            n_services=trials_config.n_services,
+            instances_per_service=trials_config.instance_range(size),
+            seed=123,
+        )
+    )
+    oracle = RouteOracle.reset_default()
+    cold_graph, cold_seconds = _timed(
+        lambda: AbstractGraph.build(scenario.requirement, scenario.overlay)
+    )
+    # The cold build primed the cache; count only the warm build's lookups.
+    oracle.reset_stats()
+    warm_graph, warm_seconds = _timed(
+        lambda: AbstractGraph.build(scenario.requirement, scenario.overlay)
+    )
+    stats = oracle.stats()
+    assert list(cold_graph.edges()) == list(warm_graph.edges())
+    return {
+        "network_size": size,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup": cold_seconds / warm_seconds if warm_seconds else float("inf"),
+        "hit_rate": stats.hit_rate,
+        "hits": stats.hits,
+        "misses": stats.misses,
+    }
+
+
+def _measure_sweep(size: int, trials: int) -> Tuple[dict, List[TrialRecord]]:
+    """One Fig. 10 sweep size: oracle on vs. off, tables cross-checked."""
+    config = _config((size,), trials)
+    oracle = RouteOracle.reset_default()
+    on_records, on_seconds = _timed(lambda: run_evaluation(config))
+    on_stats = oracle.stats()
+    oracle.clear()
+    oracle.enabled = False
+    try:
+        off_records, off_seconds = _timed(lambda: run_evaluation(config))
+    finally:
+        oracle.enabled = True
+    # The oracle must be invisible in the results: same tables either way.
+    assert _normalized(off_records) == _normalized(on_records)
+    return (
+        {
+            "network_size": size,
+            "trials": trials,
+            "oracle_on_seconds": on_seconds,
+            "oracle_off_seconds": off_seconds,
+            "speedup": off_seconds / on_seconds if on_seconds else float("inf"),
+            "hit_rate": on_stats.hit_rate,
+            "hits": on_stats.hits,
+            "misses": on_stats.misses,
+            "records": len(on_records),
+        },
+        on_records,
+    )
+
+
+def test_perf_oracle_trajectory():
+    sizes = _sizes()
+    trials = _trials()
+
+    build = _measure_repeated_build(max(sizes), _config(sizes, trials))
+
+    sweeps = []
+    serial_records: List[TrialRecord] = []
+    serial_seconds = 0.0
+    for size in sizes:
+        sweep, records = _measure_sweep(size, trials)
+        sweeps.append(sweep)
+        serial_records.extend(records)
+        serial_seconds += sweep["oracle_on_seconds"]
+
+    # Parallel campaign over all sizes at once.  Per-size serial sweeps
+    # concatenate to the combined table (cell seeds depend only on
+    # (config.seed, size, trial)), so the per-size runs above double as
+    # the serial reference.
+    RouteOracle.reset_default()
+    parallel_records, parallel_seconds = _timed(
+        lambda: run_evaluation(_config(sizes, trials, workers=2))
+    )
+    identical = _normalized(parallel_records) == _normalized(serial_records)
+
+    record = {
+        "harness": "benchmarks/test_perf_oracle.py",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "config": {"network_sizes": list(sizes), "trials": trials, "seed": 0},
+        "repeated_abstract_graph_build": build,
+        "fig10_sweeps": sweeps,
+        "parallel_campaign": {
+            "workers": 2,
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "speedup": (
+                serial_seconds / parallel_seconds if parallel_seconds else 0.0
+            ),
+            "records_identical_to_serial": identical,
+        },
+    }
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print()
+    print(json.dumps(record, indent=2))
+    print(f"  -> {RESULTS_PATH}")
+
+    # Regression gates (also the CI smoke-job gates).
+    assert identical, "parallel sweep diverged from the serial table"
+    assert build["speedup"] >= 2.0, (
+        f"warm abstract-graph build only {build['speedup']:.1f}x faster"
+    )
+    assert build["hit_rate"] >= 0.5, (
+        f"repeated-build hit rate {build['hit_rate']:.0%} below 50%"
+    )
+    for sweep in sweeps:
+        assert sweep["speedup"] > 1.0, (
+            f"oracle made the N={sweep['network_size']} sweep slower"
+        )

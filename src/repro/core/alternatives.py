@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import FederationError
 from repro.network.metrics import IDEAL, PathQuality, UNREACHABLE
 from repro.network.overlay import OverlayGraph, ServiceInstance
+from repro.routing.oracle import RouteOracle
 from repro.services.abstract_graph import AbstractGraph
 from repro.services.flowgraph import ServiceFlowGraph
 from repro.services.requirement import RequirementClass, ServiceRequirement, Sid
@@ -211,10 +212,8 @@ class ServicePathAlgorithm:
         source_instance: Optional[ServiceInstance],
     ) -> Tuple[Dict[Sid, ServiceInstance], PathQuality]:
         """Layered shortest-widest DP along the serialized service chain."""
-        from repro.routing.wang_crowcroft import shortest_widest_tree
-
         chain = requirement.topological_order()
-        trees: Dict[ServiceInstance, Dict] = {}
+        oracle = RouteOracle.default()
 
         def undirected(inst: ServiceInstance):
             seen = {}
@@ -226,11 +225,12 @@ class ServicePathAlgorithm:
             return sorted(seen.items())
 
         def hop_quality(a: ServiceInstance, b: ServiceInstance) -> PathQuality:
-            if a not in trees:
-                trees[a] = shortest_widest_tree(
-                    lambda inst: undirected(inst), a
-                )
-            label = trees[a].get(b)
+            # The serialized-chain control plans over the *undirected*
+            # relaxation of the overlay; the oracle keys that adjacency
+            # separately via the view tag.
+            label = oracle.tree(
+                overlay, a, view="undirected", neighbors=undirected
+            ).get(b)
             return label.quality if label is not None else UNREACHABLE
 
         first_pool = overlay.instances_of(chain[0])

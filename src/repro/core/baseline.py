@@ -31,7 +31,8 @@ from typing import Dict, Optional, Tuple
 from repro.errors import FederationError
 from repro.network.metrics import PathQuality, UNREACHABLE
 from repro.network.overlay import OverlayGraph, ServiceInstance
-from repro.routing.wang_crowcroft import extract_path, shortest_widest_tree
+from repro.routing.oracle import RouteOracle
+from repro.routing.wang_crowcroft import extract_path
 from repro.services.abstract_graph import AbstractGraph
 from repro.services.flowgraph import ServiceFlowGraph
 from repro.services.requirement import RequirementClass, ServiceRequirement
@@ -85,8 +86,9 @@ def solve_path_requirement(
     best_quality = UNREACHABLE
     best_assignment: Optional[Dict[str, ServiceInstance]] = None
     sink_sid = chain[-1]
+    oracle = RouteOracle.default()
     for src in sources:
-        labels = shortest_widest_tree(abstract.successors, src)
+        labels = oracle.tree(abstract, src)
         for sink_inst in abstract.instances_of(sink_sid):
             label = labels.get(sink_inst)
             if label is None or not label.quality.reachable:

@@ -31,7 +31,7 @@ from repro.core.reductions import ReductionSolver
 from repro.core.repair import repair_flow_graph
 from repro.errors import FederationError
 from repro.network.overlay import OverlayGraph, ServiceInstance
-from repro.routing.wang_crowcroft import shortest_widest_tree
+from repro.routing.oracle import RouteOracle
 from repro.services.flowgraph import ServiceFlowGraph
 from repro.services.requirement import ServiceRequirement
 from repro.sim.engine import Environment
@@ -146,16 +146,18 @@ class MonitoredFederation:
     def _probe_edges(self) -> Dict[Tuple[str, str], float]:
         """Observed bandwidth of every realised edge on the current overlay."""
         observations: Dict[Tuple[str, str], float] = {}
-        trees: Dict[ServiceInstance, Dict] = {}
+        # Probe trees come from the process-wide oracle: repeated probe
+        # rounds on an unchanged overlay are cache hits, and mutations
+        # produce a new overlay object (new epoch), so a stale tree can
+        # never be observed.
+        oracle = RouteOracle.default()
         for edge in self.graph.edges():
             src, dst = edge.src, edge.dst
             key = edge.requirement_edge
             if src not in self._overlay or dst not in self._overlay:
                 observations[key] = 0.0
                 continue
-            if src not in trees:
-                trees[src] = shortest_widest_tree(self._overlay.successors, src)
-            label = trees[src].get(dst)
+            label = oracle.tree(self._overlay, src).get(dst)
             if label is None or not label.quality.reachable:
                 observations[key] = 0.0
             else:

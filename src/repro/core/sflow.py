@@ -76,7 +76,7 @@ from repro.network.failures import ChaosPlan
 from repro.network.metrics import PathQuality, UNREACHABLE
 from repro.network.overlay import OverlayGraph, ServiceInstance
 from repro.routing.link_state import collect_local_views
-from repro.routing.wang_crowcroft import shortest_widest_tree
+from repro.routing.oracle import RouteOracle
 from repro.services.abstract_graph import AbstractGraph
 from repro.services.flowgraph import FlowEdge, ServiceFlowGraph
 from repro.services.requirement import ServiceRequirement, Sid
@@ -309,7 +309,6 @@ class _PlanningView(AbstractView):
                     for inst in directory.get(sid, ())
                     if inst not in excluded
                 )
-        self._trees: Dict[ServiceInstance, Dict] = {}
         self._prior = self._estimate_prior(local_view)
 
     @staticmethod
@@ -333,9 +332,10 @@ class _PlanningView(AbstractView):
 
     def quality(self, src: ServiceInstance, dst: ServiceInstance) -> PathQuality:
         if src in self._local and dst in self._local:
-            if src not in self._trees:
-                self._trees[src] = shortest_widest_tree(self._local.successors, src)
-            label = self._trees[src].get(dst)
+            # Local views persist across planning steps (and failover
+            # re-planning) of one federation, so the process oracle turns
+            # the repeated per-node tree computations into cache hits.
+            label = RouteOracle.default().tree(self._local, src).get(dst)
             if label is not None and label.quality.reachable:
                 return label.quality
             return UNREACHABLE
@@ -688,11 +688,25 @@ class _Federation:
         if node is not None:
             node.reset()
         self.crashes += 1
+        # Scoped invalidation: cached planning trees that route *through*
+        # the dead instance are operationally stale -- bump the epoch of
+        # every materialised local view, dropping exactly those trees.
+        # (Restrictive mutation: surviving trees stay exact, so planning
+        # behaviour is bit-identical, only recomputation cost changes.)
+        oracle = RouteOracle.default()
+        for view in self._views.values():
+            oracle.mutate(view, removed_instances=(instance,))
         self._log("crash", f"{instance} crashed (crash-stop)")
 
     def _revive(self, instance: ServiceInstance) -> None:
         self.network.revive(instance)
         self.suspected.discard(instance)
+        # A revival is additive (paths through the instance become viable
+        # again), so the affected views cold-start their tree caches.
+        oracle = RouteOracle.default()
+        for view in self._views.values():
+            if instance in view:
+                oracle.mutate(view, additive=True)
         self._log("revival", f"{instance} revived with empty state")
 
     # -- transport (reliability layer) -------------------------------------------

@@ -14,6 +14,8 @@ optimal service flow graph for non-simple service requirements"; use
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import random
 import time
 from dataclasses import dataclass, field, replace
@@ -55,12 +57,21 @@ class EvaluationConfig:
     pareto: bool = True
     use_link_state: bool = False
     seed: int = 0
+    #: Evaluation parallelism: 0 or 1 runs the sweep serially in-process;
+    #: ``n >= 2`` fans the independent (size, trial) cells out over a pool
+    #: of ``n`` worker processes; -1 uses every CPU.  Every cell derives
+    #: its randomness from ``seed`` alone and results are concatenated in
+    #: cell-submission order, so the parallel sweep reproduces the serial
+    #: one record for record (wall-clock timing fields aside).
+    workers: int = 0
 
     def __post_init__(self) -> None:
         if self.trials < 1:
             raise ValueError("need at least one trial")
         if not self.network_sizes:
             raise ValueError("need at least one network size")
+        if self.workers < -1:
+            raise ValueError("workers must be >= -1")
 
     def instance_range(self, network_size: int) -> Tuple[int, int]:
         """Instances per service for a given network size.
@@ -224,34 +235,69 @@ def run_trial(
     return records
 
 
+def _evaluate_cell(payload: Tuple[EvaluationConfig, int, int]) -> List[TrialRecord]:
+    """One (size, trial) sweep cell; self-seeded, safe in a worker process."""
+    config, size, trial = payload
+    scenario_seed = _trial_seed(config.seed, size, trial)
+    scenario = generate_scenario(
+        ScenarioConfig(
+            network_size=size,
+            n_services=config.n_services,
+            requirement_class=config.requirement_class,
+            instances_per_service=config.instance_range(size),
+            seed=scenario_seed,
+        )
+    )
+    return run_trial(
+        scenario,
+        horizon=config.horizon,
+        pareto=config.pareto,
+        use_link_state=config.use_link_state,
+        rng=random.Random(scenario_seed ^ 0x5F5F),
+    )
+
+
+def resolve_workers(workers: int, cells: int) -> int:
+    """Effective pool size: 0 for serial execution, else >= 2 processes."""
+    if workers == -1:
+        workers = os.cpu_count() or 1
+    if workers <= 1 or cells <= 1:
+        return 0
+    return min(workers, cells)
+
+
+def map_cells(worker, payloads: List, workers: int) -> List:
+    """Deterministically map ``worker`` over cell payloads.
+
+    With a pool, ``Pool.map`` collects results in submission order -- the
+    same order the serial loop produces -- so the only difference between
+    the two paths is wall-clock time.  Each cell reseeds from its payload,
+    never from global state, which makes the fan-out bit-reproducible.
+    """
+    pool_size = resolve_workers(workers, len(payloads))
+    if pool_size == 0:
+        return [worker(payload) for payload in payloads]
+    with multiprocessing.get_context().Pool(pool_size) as pool:
+        return pool.map(worker, payloads, chunksize=1)
+
+
 def run_evaluation(config: EvaluationConfig) -> List[TrialRecord]:
     """The main quality sweep (Fig. 10 a/c/d): mixed requirements.
 
     Deterministic: every (size, trial) pair derives its scenario seed from
-    ``config.seed``, so re-runs produce identical tables.
+    ``config.seed``, so re-runs produce identical tables -- including
+    across the serial/parallel switch (``config.workers``), which only
+    changes who computes each independent cell, not what is computed.
     """
+    payloads = [
+        (config, size, trial)
+        for size in config.network_sizes
+        for trial in range(config.trials)
+    ]
+    cell_records = map_cells(_evaluate_cell, payloads, config.workers)
     records: List[TrialRecord] = []
-    for size in config.network_sizes:
-        for trial in range(config.trials):
-            scenario_seed = _trial_seed(config.seed, size, trial)
-            scenario = generate_scenario(
-                ScenarioConfig(
-                    network_size=size,
-                    n_services=config.n_services,
-                    requirement_class=config.requirement_class,
-                    instances_per_service=config.instance_range(size),
-                    seed=scenario_seed,
-                )
-            )
-            records.extend(
-                run_trial(
-                    scenario,
-                    horizon=config.horizon,
-                    pareto=config.pareto,
-                    use_link_state=config.use_link_state,
-                    rng=random.Random(scenario_seed ^ 0x5F5F),
-                )
-            )
+    for cell in cell_records:
+        records.extend(cell)
     return records
 
 

@@ -30,9 +30,17 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.sflow import SFlowAlgorithm, SFlowConfig, SFlowResult
-from repro.eval.experiments import _trial_seed
+from repro.eval.experiments import _trial_seed, map_cells
 from repro.network.failures import ChaosPlan, FailureInjector
 from repro.services.workloads import Scenario, ScenarioConfig, generate_scenario
+
+
+def _robustness_cell(
+    payload: Tuple["RobustnessExperiment", int, int]
+) -> List["RobustnessRecord"]:
+    """Top-level (picklable) worker for one (size, trial) sweep cell."""
+    experiment, size, trial = payload
+    return experiment._cell(size, trial)
 
 
 @dataclass
@@ -62,6 +70,11 @@ class RobustnessConfig:
     deadline: Optional[float] = 600.0
     max_refederations: int = 2
     seed: int = 0
+    #: Like :attr:`EvaluationConfig.workers`: 0/1 serial, ``n >= 2`` fans
+    #: the (size, trial) cells over ``n`` processes, -1 uses every CPU.
+    #: Records are bit-identical to the serial sweep (every field is a
+    #: virtual-time or counter measurement, never wall-clock).
+    workers: int = 0
 
     def __post_init__(self) -> None:
         if self.trials < 1:
@@ -73,6 +86,8 @@ class RobustnessConfig:
         for rate in self.crash_rates:
             if not (0.0 <= rate <= 1.0):
                 raise ValueError(f"crash rates must be in [0, 1], got {rate}")
+        if self.workers < -1:
+            raise ValueError("workers must be >= -1")
 
     def instance_range(self, network_size: int) -> Tuple[int, int]:
         """Instances per service, scaled with the network like the Fig. 10
@@ -170,27 +185,47 @@ class RobustnessExperiment:
             seed=chaos_seed,
         )
 
-    def run(self) -> List[RobustnessRecord]:
-        records: List[RobustnessRecord] = []
+    def _cell(self, size: int, trial: int) -> List[RobustnessRecord]:
+        """One (size, trial) cell: the baseline run plus every crash rate."""
         protocol = self.config.protocol_config()
-        for size in self.config.network_sizes:
-            for trial in range(self.config.trials):
-                scenario = self._scenario(size, trial)
-                baseline = SFlowAlgorithm(protocol).federate(
+        scenario = self._scenario(size, trial)
+        baseline = SFlowAlgorithm(protocol).federate(
+            scenario.requirement,
+            scenario.overlay,
+            source_instance=scenario.source_instance,
+        )
+        return [
+            self._record(
+                size,
+                rate,
+                trial,
+                baseline,
+                SFlowAlgorithm(protocol).federate(
                     scenario.requirement,
                     scenario.overlay,
                     source_instance=scenario.source_instance,
-                )
-                for rate in self.config.crash_rates:
-                    result = SFlowAlgorithm(protocol).federate(
-                        scenario.requirement,
-                        scenario.overlay,
-                        source_instance=scenario.source_instance,
-                        chaos=self._chaos(scenario, rate),
-                    )
-                    records.append(
-                        self._record(size, rate, trial, baseline, result)
-                    )
+                    chaos=self._chaos(scenario, rate),
+                ),
+            )
+            for rate in self.config.crash_rates
+        ]
+
+    def run(self) -> List[RobustnessRecord]:
+        """The sweep; cells fan out over ``config.workers`` processes.
+
+        Cells are fully independent (scenario, chaos and protocol all
+        reseed from ``config.seed``) and collected in submission order, so
+        the parallel table is bit-identical to the serial one.
+        """
+        payloads = [
+            (self, size, trial)
+            for size in self.config.network_sizes
+            for trial in range(self.config.trials)
+        ]
+        cells = map_cells(_robustness_cell, payloads, self.config.workers)
+        records: List[RobustnessRecord] = []
+        for cell in cells:
+            records.extend(cell)
         return records
 
     @staticmethod

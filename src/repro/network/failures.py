@@ -32,6 +32,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from repro.errors import SFlowError
 from repro.network.metrics import PathQuality
 from repro.network.overlay import OverlayGraph, ServiceInstance
+from repro.routing.oracle import RouteOracle
 
 
 def fail_instances(
@@ -43,7 +44,11 @@ def fail_instances(
         if victim not in overlay:
             raise KeyError(f"cannot fail unknown instance {victim}")
     keep = [inst for inst in overlay.instances() if inst not in victim_set]
-    return overlay.subgraph(keep)
+    result = overlay.subgraph(keep)
+    RouteOracle.default().derive(
+        overlay, result, removed_instances=victim_set
+    )
+    return result
 
 
 def fail_links(
@@ -62,6 +67,7 @@ def fail_links(
         for link in overlay.out_links(inst):
             if (link.src, link.dst) not in victim_set:
                 result.add_link(link.src, link.dst, link.metrics, link.underlay_path)
+    RouteOracle.default().derive(overlay, result, removed_links=victim_set)
     return result
 
 
@@ -100,6 +106,10 @@ def degrade_links(
                     metrics.latency * latency_factor,
                 )
             result.add_link(link.src, link.dst, metrics, link.underlay_path)
+    # Degradation is restrictive (capacity can only shrink, delay only
+    # grow), so trees avoiding the victim links carry over to the new
+    # epoch; only sources routing across them recompute.
+    RouteOracle.default().derive(overlay, result, degraded_links=victim_set)
     return result
 
 

@@ -148,27 +148,31 @@ class OverlayGraph:
             if not (0 <= inst.nid < underlay.n):
                 raise KeyError(f"instance {inst} placed on unknown host {inst.nid}")
             overlay.add_instance(inst)
-        # Cache single-source routing trees per distinct source host.
-        from repro.routing.wang_crowcroft import (
-            extract_path,
-            shortest_widest_tree,
-            widest_shortest_tree,
+        # Per-host routing trees come from the process-wide oracle keyed on
+        # the underlay, so rebuilding an overlay (churn join, experiment
+        # re-runs) over an unchanged underlay reuses the trees.
+        from repro.routing.oracle import (
+            SHORTEST_WIDEST,
+            WIDEST_SHORTEST,
+            RouteOracle,
         )
+        from repro.routing.wang_crowcroft import extract_path
 
         if underlay_routing == "shortest":
-            tree_fn = widest_shortest_tree
+            order = WIDEST_SHORTEST
         elif underlay_routing == "widest":
-            tree_fn = shortest_widest_tree
+            order = SHORTEST_WIDEST
         else:
             raise ValueError(
                 f"underlay_routing must be 'shortest' or 'widest', "
                 f"got {underlay_routing!r}"
             )
-        trees = {}
+        oracle = RouteOracle.default()
         for a in instances:
-            if a.nid not in trees:
-                trees[a.nid] = tree_fn(underlay.neighbors, a.nid)
-            labels = trees[a.nid]
+            labels = oracle.tree(
+                underlay, a.nid, order=order, view="neighbors",
+                neighbors=underlay.neighbors,
+            )
             for b in instances:
                 if a == b or not compatible(a.sid, b.sid):
                     continue

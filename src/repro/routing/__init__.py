@@ -6,10 +6,14 @@
 * :mod:`repro.routing.link_state` -- a distributed link-state protocol that
   runs on the discrete-event simulator and gives every overlay node its
   *k-hop local view* (the paper assumes a two-hop vicinity).
+* :mod:`repro.routing.oracle` -- the process-wide, topology-epoch-aware
+  cache of per-source routing trees that amortises the Wang-Crowcroft cost
+  across requests, probes and algorithms.
 """
 
 from repro.routing.distance_vector import DistanceVectorReport, run_distance_vector
 from repro.routing.link_state import LinkStateReport, collect_local_views
+from repro.routing.oracle import OracleStats, RouteOracle
 from repro.routing.wang_crowcroft import (
     RouteLabel,
     all_pairs_shortest_widest,
@@ -23,6 +27,8 @@ from repro.routing.wang_crowcroft import (
 __all__ = [
     "DistanceVectorReport",
     "LinkStateReport",
+    "OracleStats",
+    "RouteOracle",
     "collect_local_views",
     "run_distance_vector",
     "RouteLabel",

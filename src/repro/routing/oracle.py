@@ -1,0 +1,438 @@
+"""Process-wide routing-tree oracle with topology epochs (perf tentpole).
+
+The paper's baseline is dominated by Wang-Crowcroft shortest-widest tree
+computations -- the ``O(N^4)`` all-pairs step of Table 1.  Before this
+module, five independent call sites (abstract-graph construction, the
+distributed planner's local views, the QoS monitor's probes, the
+serialized-chain control, and the baseline's abstract-path search) each
+kept a throwaway per-call ``trees`` dict and recomputed identical trees
+from scratch.  :class:`RouteOracle` replaces all of them with one bounded,
+process-wide memo:
+
+* **Keying.**  Cached trees are keyed ``(lineage, epoch, view, order,
+  source)``.  A *lineage* identifies a family of graphs related by
+  mutation; the *epoch* is a monotonic counter bumped by every mutation in
+  that lineage, so a stale tree is unreachable by construction -- there is
+  no code path that can serve an old epoch's tree for a new epoch's graph.
+  ``view`` distinguishes adjacency views of the same graph (e.g. the
+  directed overlay vs. the undirected relaxation the serialized-chain
+  control plans over); ``order`` selects shortest-widest or
+  widest-shortest trees.
+
+* **Scoped invalidation.**  The failure models
+  (:func:`repro.network.failures.degrade_links` and friends) are *pure*:
+  they return a new graph.  They report the derivation to the oracle via
+  :meth:`derive`, naming exactly which links/instances were touched.
+  Because degradations and removals can only make *alternative* paths
+  worse (never the chosen ones better), a cached tree that does not
+  traverse any touched element is still exact -- including its
+  deterministic tie-breaks -- and is carried forward into the new epoch.
+  A single link failure therefore does not cold-start the whole cache;
+  only sources whose trees crossed the failed link recompute.  Additive
+  mutations (revival, churn join) can create *better* paths, so they
+  invalidate the whole lineage (``additive=True``).
+
+* **Bounded LRU + weakrefs.**  The cache holds at most ``max_entries``
+  trees (least-recently-used eviction) and tracks graphs by weak
+  reference, purging a graph's entries when it is garbage-collected, so
+  long-running campaigns cannot leak memory through dead overlays.
+
+Correctness contract: the oracle never changes results, only cost.  A
+cache hit returns exactly the labels :func:`shortest_widest_tree` /
+:func:`widest_shortest_tree` would compute on the same graph (property
+tested in ``tests/routing/test_oracle.py`` and
+``tests/services/test_abstract_graph.py``).  Returned label dicts are
+shared; callers must treat them as immutable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.routing.wang_crowcroft import (
+    NeighborFn,
+    Node,
+    RouteLabel,
+    shortest_widest_tree,
+    widest_shortest_tree,
+)
+
+#: Tree orders the oracle can serve.
+SHORTEST_WIDEST = "shortest_widest"
+WIDEST_SHORTEST = "widest_shortest"
+
+_TREE_FN: Dict[str, Callable[..., Dict[Node, RouteLabel]]] = {
+    SHORTEST_WIDEST: shortest_widest_tree,
+    WIDEST_SHORTEST: widest_shortest_tree,
+}
+
+_CacheKey = Tuple[int, int, str, str, Hashable]
+
+
+@dataclass
+class OracleStats:
+    """Cumulative counters; snapshot via :meth:`RouteOracle.stats`."""
+
+    hits: int = 0
+    misses: int = 0
+    carried: int = 0  # trees surviving a mutation via scoped carry-forward
+    dropped: int = 0  # trees dropped by scoped invalidation
+    invalidated: int = 0  # trees dropped by full (additive) invalidation
+    evictions: int = 0  # LRU evictions
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when no lookups)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class _GraphMeta:
+    """Lineage/epoch bookkeeping attached (weakly) to one graph object."""
+
+    __slots__ = ("lineage", "epoch")
+
+    def __init__(self, lineage: int, epoch: int) -> None:
+        self.lineage = lineage
+        self.epoch = epoch
+
+
+class _Entry:
+    """One cached tree plus the elements its label paths traverse."""
+
+    __slots__ = ("labels", "nodes", "edges")
+
+    def __init__(self, labels: Dict[Node, RouteLabel]) -> None:
+        self.labels = labels
+        nodes: Set[Node] = set()
+        edges: Set[Tuple[Node, Node]] = set()
+        for label in labels.values():
+            path = label.path
+            nodes.update(path)
+            edges.update(zip(path, path[1:]))
+        self.nodes: FrozenSet[Node] = frozenset(nodes)
+        self.edges: FrozenSet[Tuple[Node, Node]] = frozenset(edges)
+
+    def touches(
+        self,
+        touched_nodes: FrozenSet[Node],
+        touched_edges: FrozenSet[Tuple[Node, Node]],
+    ) -> bool:
+        return bool(self.nodes & touched_nodes) or bool(self.edges & touched_edges)
+
+
+class RouteOracle:
+    """Topology-epoch-aware cache of per-source routing trees.
+
+    One process-wide instance (:meth:`default`) backs every routing-heavy
+    subsystem; tests may construct private instances.  All public methods
+    are thread-safe.
+    """
+
+    _default: Optional["RouteOracle"] = None
+    _default_lock = threading.Lock()
+
+    def __init__(self, max_entries: int = 4096, *, enabled: bool = True) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        #: When False every lookup computes directly (no caching, no
+        #: counters) -- the A/B switch the perf harness flips.
+        self.enabled = enabled
+        self._lock = threading.RLock()
+        self._meta: "weakref.WeakKeyDictionary[Any, _GraphMeta]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._lineage_counter = itertools.count()
+        #: Highest epoch ever issued per lineage (epochs never reuse).
+        self._lineage_tip: Dict[int, int] = {}
+        self._cache: "OrderedDict[_CacheKey, _Entry]" = OrderedDict()
+        #: ``(lineage, epoch) -> keys`` index for O(entries-of-graph)
+        #: invalidation instead of full-cache scans.
+        self._index: Dict[Tuple[int, int], Set[_CacheKey]] = {}
+        self._stats = OracleStats()
+
+    # -- singleton ---------------------------------------------------------
+
+    @classmethod
+    def default(cls) -> "RouteOracle":
+        """The process-wide oracle (created on first use)."""
+        with cls._default_lock:
+            if cls._default is None:
+                cls._default = cls()
+            return cls._default
+
+    @classmethod
+    def reset_default(cls) -> "RouteOracle":
+        """Replace the process-wide oracle with a fresh one (tests)."""
+        with cls._default_lock:
+            cls._default = cls()
+            return cls._default
+
+    # -- lookups -----------------------------------------------------------
+
+    def tree(
+        self,
+        graph: Any,
+        source: Node,
+        *,
+        order: str = SHORTEST_WIDEST,
+        view: str = "successors",
+        neighbors: Optional[NeighborFn] = None,
+    ) -> Dict[Node, RouteLabel]:
+        """The single-source routing tree for ``source`` on ``graph``.
+
+        Args:
+            graph: any object whose topology the trees describe; used only
+                as the cache identity (weakly referenced).
+            source: tree root.
+            order: :data:`SHORTEST_WIDEST` or :data:`WIDEST_SHORTEST`.
+            view: distinguishes multiple adjacency views of one graph; the
+                same ``view`` string must always denote the same adjacency.
+            neighbors: adjacency function; defaults to ``graph.successors``
+                (or ``graph.neighbors`` for underlay-style graphs).
+
+        Returns the label dict of the underlying tree function.  **Treat it
+        as immutable** -- it is shared across callers.
+        """
+        tree_fn = _TREE_FN.get(order)
+        if tree_fn is None:
+            raise ValueError(f"unknown tree order {order!r}")
+        if neighbors is None:
+            neighbors = getattr(graph, "successors", None) or graph.neighbors
+        if not self.enabled:
+            return tree_fn(neighbors, source)
+        with self._lock:
+            meta = self._meta_for(graph)
+            key = (meta.lineage, meta.epoch, view, order, source)
+            entry = self._cache.get(key)
+            if entry is not None:
+                self._cache.move_to_end(key)
+                self._stats.hits += 1
+                return entry.labels
+            self._stats.misses += 1
+        labels = tree_fn(neighbors, source)
+        with self._lock:
+            self._insert(key, _Entry(labels))
+        return labels
+
+    # -- mutation protocol -------------------------------------------------
+
+    def derive(
+        self,
+        old: Any,
+        new: Any,
+        *,
+        removed_instances: Iterable[Node] = (),
+        removed_links: Iterable[Tuple[Node, Node]] = (),
+        degraded_links: Iterable[Tuple[Node, Node]] = (),
+        additive: bool = False,
+    ) -> None:
+        """Record that ``new`` is ``old`` after a mutation.
+
+        ``new`` joins ``old``'s lineage at the next epoch.  Trees cached
+        for ``old`` that do not traverse any touched element are *copied*
+        into the new epoch (``old`` keeps its own entries -- the pure
+        failure functions leave the input graph alive and queryable).
+        ``additive=True`` marks mutations that can improve paths (revival,
+        join); nothing is carried then.
+        """
+        if new is old:
+            raise ValueError("derive() needs a distinct new graph; use mutate()")
+        touched_nodes, touched_edges = _touched(
+            removed_instances, removed_links, degraded_links
+        )
+        with self._lock:
+            old_meta = self._meta_for(old)
+            epoch = self._next_epoch(old_meta.lineage)
+            new_meta = _GraphMeta(old_meta.lineage, epoch)
+            self._register(new, new_meta)
+            self._propagate(
+                old_meta, new_meta, touched_nodes, touched_edges, additive,
+                move=False,
+            )
+
+    def mutate(
+        self,
+        graph: Any,
+        *,
+        removed_instances: Iterable[Node] = (),
+        removed_links: Iterable[Tuple[Node, Node]] = (),
+        degraded_links: Iterable[Tuple[Node, Node]] = (),
+        additive: bool = False,
+    ) -> None:
+        """Record an in-place mutation of ``graph`` (epoch bump).
+
+        The graph object stays the same, so surviving trees are *moved* to
+        the new epoch and the old epoch becomes unreachable.
+        """
+        touched_nodes, touched_edges = _touched(
+            removed_instances, removed_links, degraded_links
+        )
+        with self._lock:
+            meta = self._meta_for(graph)
+            old_meta = _GraphMeta(meta.lineage, meta.epoch)
+            meta.epoch = self._next_epoch(meta.lineage)
+            self._propagate(
+                old_meta, meta, touched_nodes, touched_edges, additive,
+                move=True,
+            )
+
+    def invalidate(self, graph: Any) -> None:
+        """Drop every cached tree for ``graph`` (all views, all orders)."""
+        with self._lock:
+            meta = self._meta.get(graph)
+            if meta is None:
+                return
+            for key in self._index.pop((meta.lineage, meta.epoch), ()):
+                if self._cache.pop(key, None) is not None:
+                    self._stats.invalidated += 1
+
+    def clear(self) -> None:
+        """Drop everything (stats survive; see :meth:`reset_stats`)."""
+        with self._lock:
+            self._cache.clear()
+            self._index.clear()
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> OracleStats:
+        """A snapshot copy of the counters."""
+        with self._lock:
+            return OracleStats(**vars(self._stats))
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self._stats = OracleStats()
+
+    def epoch(self, graph: Any) -> int:
+        """Current epoch of ``graph`` (registers it at epoch 0 if new)."""
+        with self._lock:
+            return self._meta_for(graph).epoch
+
+    def lineage(self, graph: Any) -> int:
+        """Lineage id of ``graph`` (registers it if new)."""
+        with self._lock:
+            return self._meta_for(graph).lineage
+
+    def cached_sources(self, graph: Any, *, view: str = "successors") -> Set[Node]:
+        """Sources with a live cached tree for ``graph`` (test hook)."""
+        with self._lock:
+            meta = self._meta.get(graph)
+            if meta is None:
+                return set()
+            return {
+                key[4]
+                for key in self._index.get((meta.lineage, meta.epoch), ())
+                if key[2] == view
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._cache)
+
+    # -- internals ---------------------------------------------------------
+
+    def _meta_for(self, graph: Any) -> _GraphMeta:
+        meta = self._meta.get(graph)
+        if meta is None:
+            lineage = next(self._lineage_counter)
+            meta = _GraphMeta(lineage, 0)
+            self._lineage_tip[lineage] = 0
+            self._register(graph, meta)
+        return meta
+
+    def _register(self, graph: Any, meta: _GraphMeta) -> None:
+        self._meta[graph] = meta
+        weakref.finalize(graph, self._purge, weakref.ref(self), meta)
+
+    @staticmethod
+    def _purge(oracle_ref: "weakref.ref[RouteOracle]", meta: _GraphMeta) -> None:
+        oracle = oracle_ref()
+        if oracle is None:
+            return
+        with oracle._lock:
+            for key in oracle._index.pop((meta.lineage, meta.epoch), ()):
+                oracle._cache.pop(key, None)
+
+    def _next_epoch(self, lineage: int) -> int:
+        tip = self._lineage_tip.get(lineage, 0) + 1
+        self._lineage_tip[lineage] = tip
+        return tip
+
+    def _propagate(
+        self,
+        old_meta: _GraphMeta,
+        new_meta: _GraphMeta,
+        touched_nodes: FrozenSet[Node],
+        touched_edges: FrozenSet[Tuple[Node, Node]],
+        additive: bool,
+        *,
+        move: bool,
+    ) -> None:
+        old_key = (old_meta.lineage, old_meta.epoch)
+        keys = self._index.get(old_key, set())
+        if move:
+            self._index.pop(old_key, None)
+        for key in sorted(keys, key=repr):
+            entry = self._cache.get(key)
+            if entry is None:
+                continue
+            if move:
+                del self._cache[key]
+            if additive:
+                # Additive mutations can create better paths anywhere: no
+                # tree survives into the new epoch.  (With ``move=False``
+                # the old graph keeps its still-valid entries; the new
+                # epoch simply starts cold.)
+                self._stats.invalidated += 1
+                continue
+            if entry.touches(touched_nodes, touched_edges):
+                self._stats.dropped += 1
+                continue
+            new_key = (new_meta.lineage, new_meta.epoch) + key[2:]
+            self._insert(new_key, entry)
+            self._stats.carried += 1
+
+    def _insert(self, key: _CacheKey, entry: _Entry) -> None:
+        stale = self._cache.pop(key, None)
+        if stale is not None:
+            self._index.get(key[:2], set()).discard(key)
+        self._cache[key] = entry
+        self._index.setdefault(key[:2], set()).add(key)
+        while len(self._cache) > self.max_entries:
+            evicted_key, _ = self._cache.popitem(last=False)
+            bucket = self._index.get(evicted_key[:2])
+            if bucket is not None:
+                bucket.discard(evicted_key)
+                if not bucket:
+                    del self._index[evicted_key[:2]]
+            self._stats.evictions += 1
+
+
+def _touched(
+    removed_instances: Iterable[Node],
+    removed_links: Iterable[Tuple[Node, Node]],
+    degraded_links: Iterable[Tuple[Node, Node]],
+) -> Tuple[FrozenSet[Node], FrozenSet[Tuple[Node, Node]]]:
+    nodes = frozenset(removed_instances)
+    edges = frozenset(removed_links) | frozenset(degraded_links)
+    return nodes, edges

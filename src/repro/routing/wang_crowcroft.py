@@ -73,12 +73,27 @@ class RouteLabel:
 _UNREACHED = RouteLabel(UNREACHABLE, -1, ())
 
 
-def widest_bandwidths(neighbors: NeighborFn, source: Node) -> Dict[Node, float]:
+def widest_bandwidths(
+    neighbors: NeighborFn,
+    source: Node,
+    *,
+    targets: Optional[Iterable[Node]] = None,
+) -> Dict[Node, float]:
     """Phase 1: maximum bottleneck bandwidth from ``source`` to every node.
 
     A max-bottleneck Dijkstra; exact because ``min`` is isotone under the
     single bandwidth order.  The source maps to ``inf``.
+
+    With ``targets`` the search stops as soon as every requested target has
+    been settled, instead of exhausting the graph.  Settled entries (the
+    source and all targets found in the result) are exact; other entries
+    may be tentative, so callers passing ``targets`` must only read the
+    targets' values.
     """
+    remaining: Optional[set] = None
+    if targets is not None:
+        remaining = set(targets)
+        remaining.discard(source)
     width: Dict[Node, float] = {source: math.inf}
     settled: set = set()
     counter = itertools.count()
@@ -88,6 +103,10 @@ def widest_bandwidths(neighbors: NeighborFn, source: Node) -> Dict[Node, float]:
         if u in settled or -neg_w < width.get(u, 0.0):
             continue
         settled.add(u)
+        if remaining is not None:
+            remaining.discard(u)
+            if not remaining:
+                break
         for v, link in neighbors(u):
             if v in settled or not link.reachable:
                 continue
@@ -102,13 +121,21 @@ def _shortest_latency_tree(
     neighbors: NeighborFn,
     source: Node,
     min_bandwidth: float,
+    *,
+    targets: Optional[Iterable[Node]] = None,
 ) -> Dict[Node, Tuple[float, int, Tuple[Node, ...]]]:
     """Phase 2 helper: min-latency Dijkstra over links of bandwidth >= w.
 
     Returns ``node -> (latency, hops, path)``.  Ties on latency are broken
     by hop count, then by smallest path (lexicographic on node reprs), so
-    the result is deterministic.
+    the result is deterministic.  With ``targets`` the search stops once
+    every requested target is settled (settled entries are exact; see
+    :func:`widest_bandwidths`).
     """
+    remaining: Optional[set] = None
+    if targets is not None:
+        remaining = set(targets)
+        remaining.discard(source)
     best: Dict[Node, Tuple[float, int, Tuple[Node, ...]]] = {
         source: (0.0, 0, (source,))
     }
@@ -123,6 +150,10 @@ def _shortest_latency_tree(
         if current is None or (lat, hops) != (current[0], current[1]):
             continue  # stale entry
         settled.add(u)
+        if remaining is not None:
+            remaining.discard(u)
+            if not remaining:
+                break
         _, _, path = current
         for v, link in neighbors(u):
             if v in settled or not link.reachable:
@@ -153,6 +184,7 @@ def shortest_widest_tree(
     source: Node,
     *,
     nodes: Optional[Iterable[Node]] = None,
+    targets: Optional[Iterable[Node]] = None,
 ) -> Dict[Node, RouteLabel]:
     """Single-source shortest-widest labels for every reachable node.
 
@@ -162,19 +194,31 @@ def shortest_widest_tree(
         nodes: optional universe of nodes.  When given, unreachable nodes
             appear in the result with an :data:`UNREACHABLE` label; otherwise
             the result contains only reachable nodes.
+        targets: optional target set.  When given, both Dijkstra phases
+            stop as soon as every requested target is finalised instead of
+            exhausting the graph, and the result is restricted to the
+            source plus the reachable targets.  Labels present are exactly
+            those the full computation would produce.
 
     Returns:
         Mapping from node to its :class:`RouteLabel`.  ``result[source]`` has
         :data:`IDEAL` quality, zero hops, and the trivial one-node path.
     """
-    width = widest_bandwidths(neighbors, source)
+    target_set: Optional[set] = None
+    if targets is not None:
+        target_set = set(targets)
+    width = widest_bandwidths(neighbors, source, targets=target_set)
     labels: Dict[Node, RouteLabel] = {source: RouteLabel(IDEAL, 0, (source,))}
     by_width: Dict[float, List[Node]] = {}
     for node, w in width.items():
+        if target_set is not None and node not in target_set:
+            continue
         if node != source and w > 0:
             by_width.setdefault(w, []).append(node)
     for w, members in sorted(by_width.items(), reverse=True):
-        tree = _shortest_latency_tree(neighbors, source, w)
+        tree = _shortest_latency_tree(
+            neighbors, source, w, targets=members if target_set is not None else None
+        )
         for node in members:
             entry = tree.get(node)
             if entry is None:
@@ -303,6 +347,9 @@ def widest_path_bandwidth(neighbors: NeighborFn, source: Node, target: Node) -> 
     """Maximum bottleneck bandwidth from ``source`` to ``target``.
 
     Convenience accessor used by the branch-and-bound optimal search to
-    compute admissible bandwidth bounds.
+    compute admissible bandwidth bounds.  The max-bottleneck Dijkstra
+    early-exits as soon as ``target`` is popped from the frontier (its
+    label is final then), instead of computing exact bandwidths to every
+    node and discarding all but one.
     """
-    return widest_bandwidths(neighbors, source).get(target, 0.0)
+    return widest_bandwidths(neighbors, source, targets=(target,)).get(target, 0.0)

@@ -25,11 +25,8 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 from repro.errors import FederationError
 from repro.network.metrics import LinkMetrics, PathQuality, UNREACHABLE
 from repro.network.overlay import OverlayGraph, ServiceInstance
-from repro.routing.wang_crowcroft import (
-    RouteLabel,
-    extract_path,
-    shortest_widest_tree,
-)
+from repro.routing.oracle import RouteOracle
+from repro.routing.wang_crowcroft import RouteLabel, extract_path
 from repro.services.requirement import ServiceRequirement, Sid
 
 
@@ -76,8 +73,10 @@ class AbstractGraph:
         For every requirement edge ``A -> B`` and every instance pair
         ``(a, b)``, the shortest-widest overlay path from ``a`` to ``b`` is
         computed (one Wang-Crowcroft tree per distinct source instance,
-        shared across all of its outgoing abstract edges).  Unreachable pairs
-        get no abstract edge.
+        served by the process-wide :class:`~repro.routing.oracle.RouteOracle`
+        and so shared across abstract edges, repeated builds *and* other
+        algorithms working on the same overlay).  Unreachable pairs get no
+        abstract edge.
 
         Args:
             requirement: the service requirement.
@@ -100,13 +99,11 @@ class AbstractGraph:
             instances[sid] = found
 
         edges: Dict[Tuple[ServiceInstance, ServiceInstance], AbstractEdge] = {}
-        trees: Dict[ServiceInstance, Dict[ServiceInstance, RouteLabel]] = {}
+        oracle = RouteOracle.default()
         for a_sid, b_sid in requirement.edges():
             usable = False
             for a in instances[a_sid]:
-                if a not in trees:
-                    trees[a] = shortest_widest_tree(overlay.successors, a)
-                labels = trees[a]
+                labels = oracle.tree(overlay, a)
                 for b in instances[b_sid]:
                     if a == b:
                         continue

@@ -132,3 +132,48 @@ class TestAggregate:
         # Strict aggregation never contains infinities.
         assert all(math.isfinite(v) for v in strict.values())
         assert set(strict) <= set(loose)
+
+
+class TestParallelDeterminism:
+    """The multiprocessing sweep must reproduce the serial sweep exactly.
+
+    ``elapsed_seconds`` is the one field measured in wall-clock time (it
+    times the algorithm run itself), so it is normalised to zero before
+    comparison; every other field -- seeds, qualities, correctness,
+    virtual-time convergence, message counts -- must be bit-identical.
+    """
+
+    @staticmethod
+    def _normalized(records):
+        from dataclasses import replace as dc_replace
+
+        return [dc_replace(r, elapsed_seconds=0.0) for r in records]
+
+    def test_workers_validation(self):
+        with pytest.raises(ValueError):
+            EvaluationConfig(workers=-2)
+
+    def test_parallel_matches_serial(self, records):
+        from dataclasses import replace as dc_replace
+
+        parallel = run_evaluation(dc_replace(SMALL, workers=2))
+        assert self._normalized(parallel) == self._normalized(records)
+
+    def test_parallel_scalability_matches_serial(self):
+        from dataclasses import replace as dc_replace
+
+        config = EvaluationConfig(
+            network_sizes=(10,), trials=2, n_services=4, seed=3
+        )
+        serial = run_scalability(config)
+        parallel = run_scalability(dc_replace(config, workers=2))
+        assert self._normalized(parallel) == self._normalized(serial)
+
+    def test_all_cpus_sentinel(self):
+        from repro.eval.experiments import resolve_workers
+
+        assert resolve_workers(0, 10) == 0
+        assert resolve_workers(1, 10) == 0
+        assert resolve_workers(4, 2) == 2
+        assert resolve_workers(-1, 100) >= 0
+        assert resolve_workers(8, 1) == 0

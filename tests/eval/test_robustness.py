@@ -107,3 +107,21 @@ class TestSummaries:
         path = write_csv(table, tmp_path)
         assert path.exists()
         assert path.read_text().startswith("network_size")
+
+
+class TestParallelDeterminism:
+    def test_parallel_records_bit_identical_to_serial(self):
+        """Every RobustnessRecord field is virtual-time or a counter, so
+        the parallel sweep must equal the serial one bit for bit."""
+        from dataclasses import replace as dc_replace
+
+        config = RobustnessConfig(
+            network_sizes=(10,),
+            crash_rates=(0.0, 0.2),
+            trials=2,
+            n_services=4,
+            seed=5,
+        )
+        serial = run_robustness(config)
+        parallel = run_robustness(dc_replace(config, workers=2))
+        assert parallel == serial

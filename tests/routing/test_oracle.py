@@ -1,0 +1,253 @@
+"""Tests for the process-wide route oracle (epochs, scoped invalidation).
+
+The acceptance contract: a mutation must never let the oracle serve a
+stale tree -- after ``degrade_links`` / crash events the epoch bumps and
+scoped invalidation drops exactly the sources whose trees crossed the
+mutated elements, while every remaining source keeps its (still exact)
+cached tree.
+"""
+
+import gc
+
+import pytest
+
+from repro.network.failures import degrade_links, fail_instances, fail_links
+from repro.network.metrics import PathQuality
+from repro.network.overlay import OverlayGraph, ServiceInstance
+from repro.routing.oracle import RouteOracle, SHORTEST_WIDEST, WIDEST_SHORTEST
+from repro.routing.wang_crowcroft import (
+    shortest_widest_tree,
+    widest_shortest_tree,
+)
+from repro.services.workloads import ScenarioConfig, generate_scenario
+
+
+@pytest.fixture(autouse=True)
+def fresh_default_oracle():
+    """Isolate every test from cache state left by other tests."""
+    yield RouteOracle.reset_default()
+    RouteOracle.reset_default()
+
+
+def diamond_overlay() -> OverlayGraph:
+    """a -> {b1, b2} -> c with distinct links, so trees are link-disjoint."""
+    a = ServiceInstance("A", 0)
+    b1 = ServiceInstance("B", 1)
+    b2 = ServiceInstance("B", 2)
+    c = ServiceInstance("C", 3)
+    overlay = OverlayGraph()
+    overlay.add_link(a, b1, PathQuality(10.0, 1.0))
+    overlay.add_link(a, b2, PathQuality(20.0, 2.0))
+    overlay.add_link(b1, c, PathQuality(10.0, 1.0))
+    overlay.add_link(b2, c, PathQuality(20.0, 1.0))
+    return overlay
+
+
+class TestLookups:
+    def test_hit_returns_same_labels_object(self):
+        overlay = diamond_overlay()
+        oracle = RouteOracle()
+        a = ServiceInstance("A", 0)
+        first = oracle.tree(overlay, a)
+        second = oracle.tree(overlay, a)
+        assert first is second
+        stats = oracle.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert stats.hit_rate == 0.5
+
+    def test_matches_direct_computation(self):
+        overlay = diamond_overlay()
+        oracle = RouteOracle()
+        for inst in overlay.instances():
+            assert oracle.tree(overlay, inst) == shortest_widest_tree(
+                overlay.successors, inst
+            )
+            assert oracle.tree(
+                overlay, inst, order=WIDEST_SHORTEST
+            ) == widest_shortest_tree(overlay.successors, inst)
+
+    def test_orders_and_views_are_keyed_separately(self):
+        overlay = diamond_overlay()
+        oracle = RouteOracle()
+        a = ServiceInstance("A", 0)
+        sw = oracle.tree(overlay, a, order=SHORTEST_WIDEST)
+        ws = oracle.tree(overlay, a, order=WIDEST_SHORTEST)
+        assert oracle.stats().misses == 2
+        assert sw is oracle.tree(overlay, a, order=SHORTEST_WIDEST)
+        assert ws is oracle.tree(overlay, a, order=WIDEST_SHORTEST)
+
+    def test_unknown_order_rejected(self):
+        oracle = RouteOracle()
+        with pytest.raises(ValueError):
+            oracle.tree(diamond_overlay(), ServiceInstance("A", 0), order="best")
+
+    def test_disabled_oracle_computes_directly(self):
+        overlay = diamond_overlay()
+        oracle = RouteOracle(enabled=False)
+        a = ServiceInstance("A", 0)
+        first = oracle.tree(overlay, a)
+        second = oracle.tree(overlay, a)
+        assert first == second and first is not second
+        assert len(oracle) == 0 and oracle.stats().lookups == 0
+
+    def test_lru_eviction_is_bounded(self):
+        overlay = diamond_overlay()
+        oracle = RouteOracle(max_entries=2)
+        instances = list(overlay.instances())
+        for inst in instances:
+            oracle.tree(overlay, inst)
+        assert len(oracle) == 2
+        assert oracle.stats().evictions == len(instances) - 2
+
+    def test_dead_graph_entries_are_purged(self):
+        oracle = RouteOracle()
+        overlay = diamond_overlay()
+        oracle.tree(overlay, ServiceInstance("A", 0))
+        assert len(oracle) == 1
+        del overlay
+        gc.collect()
+        assert len(oracle) == 0
+
+
+class TestMutations:
+    """Stale trees are never served; invalidation is scoped."""
+
+    def test_degrade_bumps_epoch_and_drops_only_affected_sources(self):
+        overlay = diamond_overlay()
+        oracle = RouteOracle.default()
+        a = ServiceInstance("A", 0)
+        b1 = ServiceInstance("B", 1)
+        b2 = ServiceInstance("B", 2)
+        c = ServiceInstance("C", 3)
+        for inst in (a, b1, b2):
+            oracle.tree(overlay, inst)
+        old_epoch = oracle.epoch(overlay)
+
+        # Degrading b1 -> c touches a's tree (a routes a->b2->c but the
+        # label set also covers a->b1) and b1's tree, but never b2's.
+        degraded = degrade_links(overlay, [(b1, c)], bandwidth_factor=0.5)
+        assert oracle.lineage(degraded) == oracle.lineage(overlay)
+        assert oracle.epoch(degraded) > old_epoch
+        assert oracle.epoch(overlay) == old_epoch  # old graph untouched
+
+        carried = oracle.cached_sources(degraded)
+        assert b2 in carried and b1 not in carried
+        oracle.reset_stats()
+        # Carried source: served from cache, and still exact.
+        assert oracle.tree(degraded, b2) == shortest_widest_tree(
+            degraded.successors, b2
+        )
+        assert oracle.stats().hits == 1
+        # Affected sources: recomputed, never the stale labels.
+        for inst in (a, b1):
+            assert oracle.tree(degraded, inst) == shortest_widest_tree(
+                degraded.successors, inst
+            )
+        assert oracle.tree(degraded, a)[c].quality.bandwidth == 20.0
+
+    def test_old_graph_keeps_serving_its_own_trees(self):
+        overlay = diamond_overlay()
+        oracle = RouteOracle.default()
+        a = ServiceInstance("A", 0)
+        before = oracle.tree(overlay, a)
+        degrade_links(overlay, [(a, ServiceInstance("B", 1))])
+        assert oracle.tree(overlay, a) is before
+
+    def test_crash_drops_trees_through_victim(self):
+        overlay = diamond_overlay()
+        oracle = RouteOracle.default()
+        a = ServiceInstance("A", 0)
+        b1 = ServiceInstance("B", 1)
+        b2 = ServiceInstance("B", 2)
+        c = ServiceInstance("C", 3)
+        for inst in (a, b1, b2):
+            oracle.tree(overlay, inst)
+        survivor = fail_instances(overlay, [b1])
+        # b1 is on a's tree and is b1's own tree root; b2's tree never
+        # touches it.
+        assert oracle.cached_sources(survivor) == {b2}
+        assert oracle.tree(survivor, a) == shortest_widest_tree(
+            survivor.successors, a
+        )
+        assert b1 not in oracle.tree(survivor, a)
+
+    def test_link_failure_scoped_invalidation(self):
+        overlay = diamond_overlay()
+        oracle = RouteOracle.default()
+        b1 = ServiceInstance("B", 1)
+        b2 = ServiceInstance("B", 2)
+        c = ServiceInstance("C", 3)
+        oracle.tree(overlay, b1)
+        oracle.tree(overlay, b2)
+        cut = fail_links(overlay, [(b1, c)])
+        assert oracle.cached_sources(cut) == {b2}
+        stats = oracle.stats()
+        assert stats.carried == 1 and stats.dropped == 1
+        assert oracle.tree(cut, b1) == shortest_widest_tree(cut.successors, b1)
+
+    def test_in_place_mutation_moves_epoch(self):
+        overlay = diamond_overlay()
+        oracle = RouteOracle.default()
+        b1 = ServiceInstance("B", 1)
+        b2 = ServiceInstance("B", 2)
+        oracle.tree(overlay, b1)
+        oracle.tree(overlay, b2)
+        old_epoch = oracle.epoch(overlay)
+        oracle.mutate(overlay, removed_instances=(ServiceInstance("C", 3),))
+        assert oracle.epoch(overlay) > old_epoch
+        # Both b-trees reach c, so both are dropped; nothing carried.
+        assert oracle.cached_sources(overlay) == set()
+
+    def test_additive_mutation_cold_starts_the_graph(self):
+        overlay = diamond_overlay()
+        oracle = RouteOracle.default()
+        a = ServiceInstance("A", 0)
+        oracle.tree(overlay, a)
+        oracle.mutate(overlay, additive=True)
+        assert oracle.cached_sources(overlay) == set()
+        assert oracle.stats().invalidated == 1
+
+    def test_invalidate_drops_everything_for_graph(self):
+        overlay = diamond_overlay()
+        oracle = RouteOracle.default()
+        for inst in overlay.instances():
+            oracle.tree(overlay, inst)
+        oracle.invalidate(overlay)
+        assert oracle.cached_sources(overlay) == set()
+
+
+class TestMutationChains:
+    """Carried trees stay exact through realistic mutation sequences."""
+
+    @pytest.mark.parametrize("seed", [0, 7, 21])
+    def test_degrade_then_crash_chain_matches_direct(self, seed):
+        scenario = generate_scenario(
+            ScenarioConfig(network_size=14, n_services=4, seed=seed)
+        )
+        overlay = scenario.overlay
+        oracle = RouteOracle.default()
+        for inst in overlay.instances():
+            oracle.tree(overlay, inst)
+
+        links = [
+            (link.src, link.dst)
+            for inst in overlay.instances()
+            for link in overlay.out_links(inst)
+        ]
+        degraded = degrade_links(
+            overlay, links[: max(1, len(links) // 8)], bandwidth_factor=0.4
+        )
+        victims = []
+        for inst in degraded.instances():
+            if inst == scenario.source_instance or len(victims) == 2:
+                continue
+            if len(degraded.instances_of(inst.sid)) > 1 and not any(
+                v.sid == inst.sid for v in victims
+            ):
+                victims.append(inst)
+        crashed = fail_instances(degraded, victims)
+        for graph in (degraded, crashed):
+            for inst in graph.instances():
+                assert oracle.tree(graph, inst) == shortest_widest_tree(
+                    graph.successors, inst
+                ), f"stale tree served for {inst} (seed {seed})"

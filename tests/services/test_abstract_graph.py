@@ -113,3 +113,63 @@ class TestQueries:
         assert len(edges) == abstract.num_edges()
         keys = [(e.src, e.dst) for e in edges]
         assert keys == sorted(keys)
+
+
+class TestOracleEquivalence:
+    """Property: the oracle-backed build is invisible in the results.
+
+    For seeded random overlays -- including after link degradation and
+    crash/revive cycles -- ``AbstractGraph.build`` must produce the exact
+    edge set (qualities *and* expanded overlay paths) the direct
+    per-build tree computation yields.
+    """
+
+    @staticmethod
+    def _edge_table(abstract):
+        return [
+            (e.src, e.dst, e.quality, e.overlay_path) for e in abstract.edges()
+        ]
+
+    @pytest.mark.parametrize("seed", [0, 5, 11, 29])
+    def test_build_identical_across_mutation_cycle(self, seed):
+        from repro.network.failures import degrade_links, fail_instances
+        from repro.routing.oracle import RouteOracle
+        from repro.services.workloads import ScenarioConfig, generate_scenario
+
+        scenario = generate_scenario(
+            ScenarioConfig(network_size=16, n_services=4, seed=seed)
+        )
+        requirement, overlay = scenario.requirement, scenario.overlay
+        links = [
+            (link.src, link.dst)
+            for inst in overlay.instances()
+            for link in overlay.out_links(inst)
+        ]
+        degraded = degrade_links(
+            overlay, links[: max(1, len(links) // 6)], bandwidth_factor=0.3
+        )
+        victims = []
+        for inst in degraded.instances():
+            if inst == scenario.source_instance or len(victims) == 2:
+                continue
+            if len(degraded.instances_of(inst.sid)) > 1 and not any(
+                v.sid == inst.sid for v in victims
+            ):
+                victims.append(inst)
+        crashed = fail_instances(degraded, victims)
+        oracle = RouteOracle.reset_default()
+        try:
+            # base -> degraded -> crashed -> base again (the revive step:
+            # the pre-crash topology must still build correctly from
+            # whatever the cache carried through the cycle).
+            for graph in (overlay, degraded, crashed, overlay):
+                oracle.enabled = False
+                direct = AbstractGraph.build(requirement, graph)
+                oracle.enabled = True
+                warm_miss = AbstractGraph.build(requirement, graph)
+                warm_hit = AbstractGraph.build(requirement, graph)
+                expected = self._edge_table(direct)
+                assert self._edge_table(warm_miss) == expected
+                assert self._edge_table(warm_hit) == expected
+        finally:
+            RouteOracle.reset_default()
