@@ -9,10 +9,16 @@ instance *while the sfederate protocol itself is still running* and shows
 the in-protocol failover recovering mid-federation.
 
 Run:  python examples/failure_recovery.py
+
+Set ``SFLOW_RECORD=/path/to/run.jsonl`` to flight-record the run --
+``python -m repro.tools.trace run.jsonl`` then renders the sim-time
+timeline (crash, retries, failover) and the protocol metric summary.
 """
 
+import os
 import random
 
+from repro import obs
 from repro import (
     ChaosPlan,
     CrashEvent,
@@ -130,4 +136,10 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    record_to = os.environ.get("SFLOW_RECORD")
+    if record_to:
+        with obs.recording(record_to, meta={"example": "failure_recovery"}):
+            main()
+        print(f"\nflight recording written to {record_to}")
+    else:
+        main()

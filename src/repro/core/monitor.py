@@ -31,12 +31,18 @@ from repro.core.reductions import ReductionSolver
 from repro.core.repair import repair_flow_graph
 from repro.errors import FederationError
 from repro.network.overlay import OverlayGraph, ServiceInstance
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import NULL_SPAN, SimClock, tracer as obs_tracer
 from repro.routing.oracle import RouteOracle
 from repro.services.flowgraph import ServiceFlowGraph
 from repro.services.requirement import ServiceRequirement
 from repro.sim.engine import Environment
 
 OverlayMutation = Callable[[OverlayGraph], OverlayGraph]
+
+_M_EVENTS = obs_metrics.registry().counter(
+    "monitor.events", "monitoring log entries by kind"
+)
 
 
 @dataclass
@@ -65,21 +71,36 @@ class MonitorConfig:
 
 @dataclass(frozen=True)
 class MonitorEvent:
-    """One entry of the monitoring log."""
+    """One entry of the monitoring log.
+
+    ``seq`` is the log position assigned at append time: several events can
+    share one sim timestamp (a mutation firing in the same tick as a probe
+    round), and ``(time, seq)`` is the total order the monitor observed
+    them in.
+    """
 
     time: float
     kind: str  # "probe" | "violation" | "repair" | "repair_failed" | "mutation"
     bottleneck: float
     detail: str = ""
+    seq: int = 0
 
 
 @dataclass
 class MonitorReport:
-    """Outcome of a monitored run."""
+    """Outcome of a monitored run.
+
+    ``events`` is normalised to ``(time, seq)`` order on construction, so
+    the timeline is stable even when callers assemble a report from events
+    collected out of order.
+    """
 
     events: List[MonitorEvent]
     final_graph: ServiceFlowGraph
     repairs: int
+
+    def __post_init__(self) -> None:
+        self.events = sorted(self.events, key=lambda e: (e.time, e.seq))
 
     @property
     def timeline(self) -> List[Tuple[float, float]]:
@@ -89,6 +110,7 @@ class MonitorReport:
         ]
 
     def events_of(self, kind: str) -> List[MonitorEvent]:
+        """Events of one kind, in log order; ``[]`` for unknown kinds."""
         return [e for e in self.events if e.kind == kind]
 
 
@@ -110,6 +132,8 @@ class MonitoredFederation:
         self.env = Environment()
         self._overlay = overlay
         self._events: List[MonitorEvent] = []
+        self._seq = 0
+        self._span = NULL_SPAN
         self._repairs = 0
         self.graph = self.solver.solve(
             requirement, overlay, source_instance=source_instance
@@ -133,13 +157,27 @@ class MonitoredFederation:
 
         def fire(_event) -> None:
             self._overlay = mutation(self._overlay)
-            self._events.append(
-                MonitorEvent(self.env.now, "mutation", self._probe(), label)
-            )
+            self._record("mutation", self._probe(), label)
 
         event = self.env.event()
         event.callbacks.append(fire)
         event.succeed(delay=time - self.env.now)
+
+    # -- logging ---------------------------------------------------------------
+
+    def _record(
+        self, kind: str, bottleneck: float, detail: str = ""
+    ) -> MonitorEvent:
+        """Append one log entry with a stable sequence number, mirroring it
+        to the metrics registry and (when recording) the trace stream."""
+        event = MonitorEvent(self.env.now, kind, bottleneck, detail, self._seq)
+        self._seq += 1
+        self._events.append(event)
+        _M_EVENTS.inc(kind=kind)
+        self._span.event(
+            "monitor." + kind, bottleneck=bottleneck, detail=detail
+        )
+        return event
 
     # -- probing ---------------------------------------------------------------
 
@@ -175,19 +213,14 @@ class MonitoredFederation:
         while self.env.now < until:
             yield self.env.timeout(self.config.probe_interval)
             observed = self._probe()
-            self._events.append(
-                MonitorEvent(self.env.now, "probe", observed)
-            )
+            self._record("probe", observed)
             if observed >= self._baseline * self.config.bandwidth_threshold:
                 continue
-            self._events.append(
-                MonitorEvent(
-                    self.env.now,
-                    "violation",
-                    observed,
-                    f"below {self.config.bandwidth_threshold:.0%} of "
-                    f"baseline {self._baseline:.2f}",
-                )
+            self._record(
+                "violation",
+                observed,
+                f"below {self.config.bandwidth_threshold:.0%} of "
+                f"baseline {self._baseline:.2f}",
             )
             if self._repairs >= self.config.max_repairs:
                 continue
@@ -213,21 +246,16 @@ class MonitoredFederation:
                     force_repair=force,
                 )
             except FederationError as exc:
-                self._events.append(
-                    MonitorEvent(self.env.now, "repair_failed", observed, str(exc))
-                )
+                self._record("repair_failed", observed, str(exc))
                 continue
             self.graph = report.graph
             self._source = self.graph.instance_for(self.requirement.source)
             self._baseline = self.graph.bottleneck_bandwidth()
             self._repairs += 1
-            self._events.append(
-                MonitorEvent(
-                    self.env.now,
-                    "repair",
-                    self._baseline,
-                    f"re-decided {sorted(report.touched)}",
-                )
+            self._record(
+                "repair",
+                self._baseline,
+                f"re-decided {sorted(report.touched)}",
             )
 
     # -- driving -----------------------------------------------------------------
@@ -236,8 +264,20 @@ class MonitoredFederation:
         """Run the monitored federation until virtual time ``until``."""
         if until <= 0:
             raise ValueError("until must be > 0")
+        self._span = obs_tracer().session(
+            "monitor.run",
+            clock=SimClock(self.env),
+            until=until,
+            probe_interval=self.config.probe_interval,
+        )
         self.env.process(self._monitor_process(until))
         self.env.run(until=until)
+        self._span.end(
+            repairs=self._repairs,
+            baseline=self._baseline,
+            events=len(self._events),
+        )
+        self._span = NULL_SPAN
         return MonitorReport(
             events=list(self._events),
             final_graph=self.graph,

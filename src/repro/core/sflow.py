@@ -73,6 +73,8 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.errors import FederationError, SimulationError
 from repro.network.failures import ChaosPlan
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import NULL_SPAN, SimClock, tracer as obs_tracer
 from repro.network.metrics import PathQuality, UNREACHABLE
 from repro.network.overlay import OverlayGraph, ServiceInstance
 from repro.routing.link_state import collect_local_views
@@ -83,6 +85,38 @@ from repro.services.requirement import ServiceRequirement, Sid
 from repro.core.reductions import AbstractView, ReductionSolver
 from repro.sim.channels import Envelope, MessageNetwork
 from repro.sim.engine import Environment, Event
+
+#: Protocol metrics (process-wide, resolved once at import).  Counters are
+#: always on; spans/events below additionally feed the flight recorder
+#: when one is attached (:mod:`repro.obs`), at zero cost otherwise.
+_REGISTRY = obs_metrics.registry()
+_M_SESSIONS = _REGISTRY.counter("sflow.sessions", "federation runs by outcome")
+_M_SFEDERATE = _REGISTRY.counter("sflow.sfederate.sent", "sfederate dispatches")
+_M_ACKS = _REGISTRY.counter("sflow.acks.sent", "acknowledgements sent")
+_M_RETRANSMISSIONS = _REGISTRY.counter(
+    "sflow.retransmissions", "sfederate retransmissions"
+)
+_M_SUSPECTS = _REGISTRY.counter(
+    "sflow.suspects", "instances declared dead by retry exhaustion"
+)
+_M_FAILOVERS = _REGISTRY.counter("sflow.failovers", "local re-pins after suspicion")
+_M_REFEDERATIONS = _REGISTRY.counter(
+    "sflow.refederations", "consumer-side protocol restarts"
+)
+_M_CRASHES = _REGISTRY.counter("sflow.crashes", "chaos crash-stop events")
+_M_ACTIVATIONS = _REGISTRY.counter(
+    "sflow.node.activations", "local planning steps executed"
+)
+_M_RECOVERY = _REGISTRY.counter(
+    "sflow.recovery.events", "structured recovery-log entries by kind"
+)
+_H_FEDERATION_TIME = _REGISTRY.histogram(
+    "sflow.federation.sim_time", "per-session federation latency (virtual time)"
+)
+_H_RECOVERY_TIME = _REGISTRY.histogram(
+    "sflow.recovery.sim_time",
+    "first recovery event to completion (virtual time), disturbed runs only",
+)
 
 
 @dataclass(frozen=True)
@@ -402,6 +436,8 @@ class _SFlowNode:
         fed = self.fed
         my_sid = self.me.sid
         fed.node_activations += 1
+        _M_ACTIVATIONS.inc()
+        fed._span.event("node.activate", instance=str(self.me))
         pins: Dict[Sid, ServiceInstance] = {}
         pin_gens: Dict[Sid, int] = {}
         edges: Dict[Tuple[Sid, Sid], FlowEdge] = {}
@@ -557,6 +593,7 @@ class _Federation:
         self.retransmissions = 0
         self.acks_sent = 0
         self.idom = requirement.immediate_dominators()
+        _t0 = time.perf_counter()
         self.directory: Dict[Sid, Tuple[ServiceInstance, ...]] = {
             sid: overlay.instances_of(sid) for sid in requirement.services()
         }
@@ -565,9 +602,11 @@ class _Federation:
                 raise FederationError(
                     f"required service {sid!r} has no instance in the overlay"
                 )
+        _t1 = time.perf_counter()
         # Ground-truth abstract graph used only to realise committed edges
         # (established routing state), never for decision making.
         self.abstract = AbstractGraph.build(requirement, overlay)
+        _t2 = time.perf_counter()
         self.fallback_latency = self._mean_latency()
         self.hints: Dict[ServiceInstance, PathQuality] = (
             self._gossip_hints() if config.gossip_hints else {}
@@ -578,6 +617,16 @@ class _Federation:
             report = collect_local_views(overlay, config.horizon)
             self._views = report.views
             self.link_state_messages = report.messages
+        _t3 = time.perf_counter()
+        #: Wall-clock setup cost, reported as zero-length sim-time spans by
+        #: :meth:`run` -- setup happens before the DES clock starts ticking.
+        self._setup_seconds = {
+            "discovery": (_t1 - _t0) + (_t3 - _t2),
+            "abstract_graph": _t2 - _t1,
+        }
+        #: Root span of the session; a real span only while a trace sink is
+        #: attached, otherwise the free no-op singleton.
+        self._span = NULL_SPAN
         self.node_activations = 0
         self.local_compute_seconds = 0.0
         self.per_node_compute: Dict[ServiceInstance, float] = {}
@@ -646,6 +695,8 @@ class _Federation:
 
     def _log(self, kind: str, detail: str) -> None:
         self.recovery_log.append(RecoveryEvent(self.env.now, kind, detail))
+        _M_RECOVERY.inc(kind=kind)
+        self._span.event("recovery." + kind, detail=detail)
 
     def _fail_run(self, reason: str, *, force: bool = False) -> None:
         """End the run as FAILED -- structured, never by raising."""
@@ -688,6 +739,7 @@ class _Federation:
         if node is not None:
             node.reset()
         self.crashes += 1
+        _M_CRASHES.inc()
         # Scoped invalidation: cached planning trees that route *through*
         # the dead instance are operationally stale -- bump the epoch of
         # every materialised local view, dropping exactly those trees.
@@ -727,6 +779,7 @@ class _Federation:
     ) -> None:
         """Send an ``sfederate``: fire-and-forget when the transport is
         safe, supervised (acks, retransmission, failover) otherwise."""
+        _M_SFEDERATE.inc()
         if message.msg_id == 0:
             self.network.send(src, dst, message, latency=latency, size=message.size)
             return
@@ -749,6 +802,7 @@ class _Federation:
             )
             if attempt > 0:
                 self.retransmissions += 1
+                _M_RETRANSMISSIONS.inc()
             timeout = self.env.timeout(self.config.retransmit_timeout)
             yield self.env.any_of([ack_event, timeout])
             if ack_event.processed:
@@ -782,6 +836,7 @@ class _Federation:
             if self.done.triggered or msg.generation < self.generation:
                 return  # run settled or superseded by a re-federation
             self.suspected.add(target)
+            _M_SUSPECTS.inc()
             self._log(
                 "retry_exhausted",
                 f"{target} never acked sfederate {msg.msg_id} from {src} "
@@ -826,6 +881,7 @@ class _Federation:
                 )
                 return
             self.failovers += 1
+            _M_FAILOVERS.inc()
             new_target, new_msg, new_lat = replacement
             self._log(
                 "failover",
@@ -906,6 +962,7 @@ class _Federation:
         self, src: ServiceInstance, dst, msg_id: int
     ) -> None:
         self.acks_sent += 1
+        _M_ACKS.inc()
         self.network.send(
             src, dst, Ack(msg_id), latency=self.fallback_latency, size=1
         )
@@ -944,6 +1001,7 @@ class _Federation:
             )
             return False
         self.refederations += 1
+        _M_REFEDERATIONS.inc()
         self.generation += 1
         self._sink_parts.clear()
         self._log(
@@ -1024,6 +1082,21 @@ class _Federation:
     def run(self) -> SFlowResult:
         nodes = [_SFlowNode(inst, self) for inst in self.overlay.instances()]
         self._nodes = {node.me: node for node in nodes}
+        self._span = obs_tracer().session(
+            "sflow.federate",
+            clock=SimClock(self.env),
+            services=len(self.directory),
+            instances=len(nodes),
+            source=str(self.source_instance),
+            chaos=self.chaos is not None,
+        )
+        # Setup happened before the DES clock started ticking: report the
+        # discovery and abstract-graph phases as zero-length sim-time spans
+        # carrying their wall-clock cost.
+        for phase in ("discovery", "abstract_graph"):
+            self._span.child(phase).end(
+                wall_seconds=self._setup_seconds[phase]
+            )
         for node in nodes:
             self.env.process(node.run())
         if self.chaos is not None:
@@ -1036,6 +1109,7 @@ class _Federation:
             pins=((self.requirement.source, self.source_instance),),
             edges=(),
         )
+        negotiate = self._span.child("negotiate")
         self.network.send(
             "consumer",
             self.source_instance,
@@ -1055,12 +1129,37 @@ class _Federation:
             # message path died with no failover/deadline left to drive
             # recovery.  Starvation is a failure, not a crash.
             self._fail_run(f"protocol starved: {exc}", force=True)
+        negotiate.end(generations=self.generation + 1)
         graph: Optional[ServiceFlowGraph] = None
         if not self.failed:
             try:
                 graph = self._assemble()
             except FederationError as exc:
                 self._fail_run(f"assembly failed: {exc}", force=True)
+        outcome = (
+            FederationOutcome.SUCCEEDED
+            if graph is not None
+            else FederationOutcome.FAILED
+        )
+        _M_SESSIONS.inc(outcome=outcome.name.lower())
+        _H_FEDERATION_TIME.observe(self.env.now)
+        recovery_latency: Optional[float] = None
+        if self.recovery_log:
+            recovery_latency = self.env.now - self.recovery_log[0].time
+            _H_RECOVERY_TIME.observe(recovery_latency)
+        self._span.end(
+            outcome=outcome.name.lower(),
+            messages=self.network.stats.messages,
+            bytes=self.network.stats.bytes,
+            convergence_time=self.env.now,
+            crashes=self.crashes,
+            failovers=self.failovers,
+            refederations=self.refederations,
+            retransmissions=self.retransmissions,
+            recovery_latency=recovery_latency,
+            failure_reason=self.failure_reason,
+        )
+        self._span = NULL_SPAN
         return SFlowResult(
             flow_graph=graph,
             convergence_time=self.env.now,
@@ -1073,11 +1172,7 @@ class _Federation:
             retransmissions=self.retransmissions,
             lost_messages=self.network.stats.lost,
             acks=self.acks_sent,
-            outcome=(
-                FederationOutcome.SUCCEEDED
-                if graph is not None
-                else FederationOutcome.FAILED
-            ),
+            outcome=outcome,
             failure_reason=self.failure_reason,
             recovery_log=tuple(self.recovery_log),
             crashes=self.crashes,

@@ -29,6 +29,7 @@ from repro.core.alternatives import (
 from repro.core.optimal import GlobalOptimalAlgorithm
 from repro.core.sflow import SFlowAlgorithm, SFlowConfig
 from repro.errors import FederationError
+from repro.obs import metrics as obs_metrics
 from repro.services.flowgraph import ServiceFlowGraph
 from repro.services.requirement import RequirementClass
 from repro.services.workloads import Scenario, ScenarioConfig, generate_scenario
@@ -281,6 +282,54 @@ def map_cells(worker, payloads: List, workers: int) -> List:
         return pool.map(worker, payloads, chunksize=1)
 
 
+class _MeteredCell:
+    """Picklable wrapper: run a cell worker and ship its metric delta.
+
+    Each cell snapshots the (per-process) metrics registry before and after
+    the worker runs and returns ``(result, delta)``.  The before/after diff
+    is what makes pooled sweeps correct: a forked worker inherits whatever
+    counter values the parent had accumulated, and subtracting the entry
+    snapshot leaves exactly the increments this cell caused.
+    """
+
+    def __init__(self, worker) -> None:
+        self.worker = worker
+
+    def __call__(self, payload) -> Tuple[object, Dict[str, dict]]:
+        reg = obs_metrics.registry()
+        before = reg.snapshot()
+        result = self.worker(payload)
+        delta = obs_metrics.diff_snapshots(reg.snapshot(), before)
+        return result, delta
+
+
+def map_cells_with_metrics(
+    worker, payloads: List, workers: int
+) -> Tuple[List, Dict[str, dict]]:
+    """:func:`map_cells` plus per-cell metric merging.
+
+    Returns ``(cell_results, merged_delta)`` where ``merged_delta`` is the
+    submission-order merge of every cell's registry delta.  When a pool
+    computed the cells, the merge is also folded into the parent process's
+    registry -- worker increments land in forked copies, and without this
+    fold the parent's counters would silently disagree with a serial run of
+    the same sweep.
+    """
+    pool_size = resolve_workers(workers, len(payloads))
+    metered = _MeteredCell(worker)
+    if pool_size == 0:
+        results = [metered(payload) for payload in payloads]
+    else:
+        with multiprocessing.get_context().Pool(pool_size) as pool:
+            results = pool.map(metered, payloads, chunksize=1)
+    merged: Dict[str, dict] = {}
+    for _, delta in results:
+        merged = obs_metrics.merge_snapshots(merged, delta)
+    if pool_size != 0:
+        obs_metrics.registry().apply(merged)
+    return [cell for cell, _ in results], merged
+
+
 def run_evaluation(config: EvaluationConfig) -> List[TrialRecord]:
     """The main quality sweep (Fig. 10 a/c/d): mixed requirements.
 
@@ -289,16 +338,35 @@ def run_evaluation(config: EvaluationConfig) -> List[TrialRecord]:
     across the serial/parallel switch (``config.workers``), which only
     changes who computes each independent cell, not what is computed.
     """
+    records, _ = run_evaluation_with_metrics(config)
+    return records
+
+
+def run_evaluation_with_metrics(
+    config: EvaluationConfig,
+) -> Tuple[List[TrialRecord], Dict[str, dict]]:
+    """:func:`run_evaluation` plus the sweep's merged metric snapshot.
+
+    The second element is the registry delta the whole sweep caused --
+    protocol counters, oracle hit/miss counts, channel histograms.  All
+    integer series (counters, histogram counts and buckets) are identical
+    whether the cells ran serially or over a worker pool (per-cell deltas
+    merge in submission order either way); float histogram *sums* can
+    differ in the final bits, since subtraction-based deltas round
+    differently than a fresh accumulation.
+    """
     payloads = [
         (config, size, trial)
         for size in config.network_sizes
         for trial in range(config.trials)
     ]
-    cell_records = map_cells(_evaluate_cell, payloads, config.workers)
+    cell_records, metrics = map_cells_with_metrics(
+        _evaluate_cell, payloads, config.workers
+    )
     records: List[TrialRecord] = []
     for cell in cell_records:
         records.extend(cell)
-    return records
+    return records, metrics
 
 
 def run_scalability(config: EvaluationConfig) -> List[TrialRecord]:

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.sflow import SFlowAlgorithm, SFlowConfig, SFlowResult
-from repro.eval.experiments import _trial_seed, map_cells
+from repro.eval.experiments import _trial_seed, map_cells_with_metrics
 from repro.network.failures import ChaosPlan, FailureInjector
 from repro.services.workloads import Scenario, ScenarioConfig, generate_scenario
 
@@ -217,16 +217,27 @@ class RobustnessExperiment:
         reseed from ``config.seed``) and collected in submission order, so
         the parallel table is bit-identical to the serial one.
         """
+        records, _ = self.run_with_metrics()
+        return records
+
+    def run_with_metrics(
+        self,
+    ) -> Tuple[List[RobustnessRecord], Dict[str, dict]]:
+        """:meth:`run` plus the sweep's merged metric-registry delta
+        (merged across worker processes in submission order, so serial and
+        pooled sweeps report the same counter totals)."""
         payloads = [
             (self, size, trial)
             for size in self.config.network_sizes
             for trial in range(self.config.trials)
         ]
-        cells = map_cells(_robustness_cell, payloads, self.config.workers)
+        cells, metrics = map_cells_with_metrics(
+            _robustness_cell, payloads, self.config.workers
+        )
         records: List[RobustnessRecord] = []
         for cell in cells:
             records.extend(cell)
-        return records
+        return records, metrics
 
     @staticmethod
     def _record(

@@ -1,0 +1,439 @@
+"""Process-wide metrics: labelled counters, gauges and fixed-bucket histograms.
+
+This is the quantitative half of :mod:`repro.obs`.  Every instrumented
+subsystem (the sfederate protocol, the message transport, the route
+oracle, the QoS monitor) registers its metrics in one process-wide
+:class:`MetricsRegistry` and increments them unconditionally -- the
+operations are a dict update each, cheap enough to stay on even when no
+flight recording is active (the expensive half, tracing, is the part with
+an explicit off switch).
+
+Design constraints, in order:
+
+* **Snapshot-able as plain dicts.**  :meth:`MetricsRegistry.snapshot`
+  returns pure ``dict``/``list``/``float`` data -- JSON-serialisable, so
+  the flight recorder can embed it and multiprocessing workers can ship
+  it across process boundaries without custom picklers.
+* **Mergeable.**  Evaluation campaigns fan independent sweep cells out
+  over worker processes; each cell captures a *delta* snapshot
+  (:func:`diff_snapshots`) and the parent folds them back together
+  (:func:`merge_snapshots`, :meth:`MetricsRegistry.apply`).  Counters and
+  histograms add; gauges are last-write-wins.
+* **Deterministic.**  Nothing here reads a clock or an RNG.  A serial
+  sweep and its parallel twin therefore merge to identical totals -- a
+  property the eval tests assert.
+
+Label handling follows the usual dimensional-metrics model: a metric name
+identifies the quantity, keyword labels identify the series
+(``counter.inc(outcome="failed")``).  Unlabelled use is the common, fast
+case.  The registry is written for the single-writer simulation loop;
+creation of metrics is locked, increments are plain dict updates (atomic
+enough under the GIL for the supervising threads the test-suite uses).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+#: Canonical per-series key: sorted ``(label, value)`` pairs.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default histogram bucket upper bounds (virtual-time scale: overlay link
+#: latencies are O(1..50), federation times O(10..1000)).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0,
+)
+
+_NO_LABELS: LabelKey = ()
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def format_labels(key: LabelKey) -> str:
+    """``(("a","1"),("b","x"))`` -> ``"a=1,b=x"`` (empty string unlabelled)."""
+    return ",".join(f"{k}={v}" for k, v in key)
+
+
+def parse_labels(text: str) -> LabelKey:
+    """Inverse of :func:`format_labels` (labels must not contain ``,``/``=``)."""
+    if not text:
+        return ()
+    return tuple(
+        tuple(part.split("=", 1)) for part in text.split(",")  # type: ignore[misc]
+    )
+
+
+class Counter:
+    """A monotonically increasing quantity, optionally labelled."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "_values")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease ({amount})")
+        key = _label_key(labels) if labels else _NO_LABELS
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        """Current value of one series (0 if the series never incremented)."""
+        key = _label_key(labels) if labels else _NO_LABELS
+        return self._values.get(key, 0.0)
+
+    @property
+    def total(self) -> float:
+        """Sum over all label series."""
+        return sum(self._values.values())
+
+    def reset(self) -> None:
+        self._values.clear()
+
+    def snapshot_values(self) -> Dict[str, float]:
+        return {format_labels(k): v for k, v in sorted(self._values.items())}
+
+
+class Gauge:
+    """A point-in-time value (last write wins under merging)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "_values")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        key = _label_key(labels) if labels else _NO_LABELS
+        self._values[key] = float(value)
+
+    def add(self, delta: float, **labels: object) -> None:
+        key = _label_key(labels) if labels else _NO_LABELS
+        self._values[key] = self._values.get(key, 0.0) + delta
+
+    def value(self, **labels: object) -> float:
+        key = _label_key(labels) if labels else _NO_LABELS
+        return self._values.get(key, 0.0)
+
+    def reset(self) -> None:
+        self._values.clear()
+
+    def snapshot_values(self) -> Dict[str, float]:
+        return {format_labels(k): v for k, v in sorted(self._values.items())}
+
+
+class _HistSeries:
+    __slots__ = ("counts", "sum", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts: List[int] = [0] * n_buckets
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram:
+    """Fixed-bucket distribution: counts per upper bound plus sum/count.
+
+    ``bounds`` are strictly increasing finite upper bounds; one implicit
+    overflow bucket (``+inf``) is appended, so ``counts`` has
+    ``len(bounds) + 1`` entries and ``counts[i]`` is the number of
+    observations ``v`` with ``bounds[i-1] < v <= bounds[i]``.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "bounds", "_values")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must strictly increase: {bounds}")
+        if bounds[-1] == float("inf"):
+            bounds = bounds[:-1]  # the overflow bucket is implicit
+        self.name = name
+        self.help = help
+        self.bounds = bounds
+        self._values: Dict[LabelKey, _HistSeries] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = _label_key(labels) if labels else _NO_LABELS
+        series = self._values.get(key)
+        if series is None:
+            series = self._values[key] = _HistSeries(len(self.bounds) + 1)
+        series.counts[bisect_left(self.bounds, value)] += 1
+        series.sum += value
+        series.count += 1
+
+    def count(self, **labels: object) -> int:
+        key = _label_key(labels) if labels else _NO_LABELS
+        series = self._values.get(key)
+        return series.count if series is not None else 0
+
+    def mean(self, **labels: object) -> float:
+        key = _label_key(labels) if labels else _NO_LABELS
+        series = self._values.get(key)
+        if series is None or not series.count:
+            return 0.0
+        return series.sum / series.count
+
+    def reset(self) -> None:
+        self._values.clear()
+
+    def snapshot_values(self) -> Dict[str, dict]:
+        return {
+            format_labels(k): {
+                "count": s.count,
+                "sum": s.sum,
+                "buckets": list(s.counts),
+            }
+            for k, s in sorted(self._values.items())
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Get-or-create home of every metric in one process (or test scope)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, cls, name: str, *args) -> Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(name, *args)
+            elif not isinstance(metric, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        metric = self._get_or_create(Histogram, name, help, buckets)
+        if metric.bounds != tuple(
+            float(b) for b in buckets if b != float("inf")
+        ):
+            raise ValueError(
+                f"histogram {name!r} already registered with different buckets"
+            )
+        return metric
+
+    def get(self, name: str) -> Optional[Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def reset(self) -> None:
+        """Zero every metric's series (registrations survive).
+
+        Held metric references stay live -- resetting never orphans the
+        module-level handles the instrumented subsystems cache.
+        """
+        with self._lock:
+            for metric in self._metrics.values():
+                metric.reset()
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, dict]:
+        """The whole registry as plain dicts (JSON/pickle friendly)."""
+        with self._lock:
+            out: Dict[str, dict] = {}
+            for name in sorted(self._metrics):
+                metric = self._metrics[name]
+                record = {
+                    "kind": metric.kind,
+                    "values": metric.snapshot_values(),
+                }
+                if isinstance(metric, Histogram):
+                    record["bounds"] = list(metric.bounds)
+                out[name] = record
+            return out
+
+    def apply(self, snapshot: Dict[str, dict]) -> None:
+        """Fold a snapshot (typically a worker's delta) into this registry.
+
+        Counters and histogram series add; gauges take the snapshot's
+        value.  Metrics are created on demand, so a parent process can
+        absorb series it never touched itself.
+        """
+        for name, record in snapshot.items():
+            kind = record["kind"]
+            if kind == "counter":
+                counter = self.counter(name)
+                for labels, value in record["values"].items():
+                    if value:
+                        counter.inc(value, **dict(parse_labels(labels)))
+            elif kind == "gauge":
+                gauge = self.gauge(name)
+                for labels, value in record["values"].items():
+                    gauge.set(value, **dict(parse_labels(labels)))
+            elif kind == "histogram":
+                hist = self.histogram(name, buckets=tuple(record["bounds"]))
+                for labels, series in record["values"].items():
+                    key = parse_labels(labels)
+                    target = hist._values.get(key)
+                    if target is None:
+                        target = hist._values[key] = _HistSeries(
+                            len(hist.bounds) + 1
+                        )
+                    for i, c in enumerate(series["buckets"]):
+                        target.counts[i] += c
+                    target.sum += series["sum"]
+                    target.count += series["count"]
+            else:  # pragma: no cover - future-proofing
+                raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
+
+
+# -- snapshot algebra --------------------------------------------------------
+
+
+def merge_snapshots(a: Dict[str, dict], b: Dict[str, dict]) -> Dict[str, dict]:
+    """Combine two snapshots: counters/histograms add, gauges take ``b``."""
+    out = {name: _copy_record(record) for name, record in a.items()}
+    for name, record in b.items():
+        base = out.get(name)
+        if base is None:
+            out[name] = _copy_record(record)
+            continue
+        if base["kind"] != record["kind"]:
+            raise ValueError(f"metric {name!r} changed kind across snapshots")
+        if record["kind"] == "counter":
+            for labels, value in record["values"].items():
+                base["values"][labels] = base["values"].get(labels, 0.0) + value
+        elif record["kind"] == "gauge":
+            base["values"].update(record["values"])
+        else:
+            if base["bounds"] != record["bounds"]:
+                raise ValueError(f"histogram {name!r} bounds differ")
+            for labels, series in record["values"].items():
+                target = base["values"].get(labels)
+                if target is None:
+                    base["values"][labels] = dict(
+                        series, buckets=list(series["buckets"])
+                    )
+                    continue
+                target["count"] += series["count"]
+                target["sum"] += series["sum"]
+                target["buckets"] = [
+                    x + y for x, y in zip(target["buckets"], series["buckets"])
+                ]
+    return out
+
+
+def diff_snapshots(
+    after: Dict[str, dict], before: Dict[str, dict]
+) -> Dict[str, dict]:
+    """What changed between two snapshots of the same registry.
+
+    Counter/histogram series subtract; series (and whole metrics) whose
+    delta is zero are omitted, so the diff of an untouched registry is
+    ``{}`` regardless of what was registered before -- the property that
+    makes per-cell deltas comparable across the serial/parallel eval
+    split.  Gauges keep their ``after`` value (a gauge has no delta).
+    """
+    out: Dict[str, dict] = {}
+    for name, record in after.items():
+        old = before.get(name)
+        kind = record["kind"]
+        if kind == "counter":
+            old_values = old["values"] if old else {}
+            values = {
+                labels: value - old_values.get(labels, 0.0)
+                for labels, value in record["values"].items()
+                if value != old_values.get(labels, 0.0)
+            }
+            if values:
+                out[name] = {"kind": kind, "values": values}
+        elif kind == "gauge":
+            if record["values"]:
+                out[name] = _copy_record(record)
+        else:
+            old_values = old["values"] if old else {}
+            values = {}
+            for labels, series in record["values"].items():
+                prior = old_values.get(labels)
+                if prior is None:
+                    if series["count"]:
+                        values[labels] = dict(
+                            series, buckets=list(series["buckets"])
+                        )
+                    continue
+                count = series["count"] - prior["count"]
+                if not count:
+                    continue
+                values[labels] = {
+                    "count": count,
+                    "sum": series["sum"] - prior["sum"],
+                    "buckets": [
+                        x - y
+                        for x, y in zip(series["buckets"], prior["buckets"])
+                    ],
+                }
+            if values:
+                out[name] = {
+                    "kind": kind,
+                    "values": values,
+                    "bounds": list(record["bounds"]),
+                }
+    return out
+
+
+def _copy_record(record: dict) -> dict:
+    copied = {"kind": record["kind"], "values": {}}
+    if "bounds" in record:
+        copied["bounds"] = list(record["bounds"])
+    for labels, value in record["values"].items():
+        copied["values"][labels] = (
+            dict(value, buckets=list(value["buckets"]))
+            if isinstance(value, dict)
+            else value
+        )
+    return copied
+
+
+# -- the process-wide registry ----------------------------------------------
+
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide registry every instrumented subsystem shares.
+
+    Always the same object for the life of the process; tests isolate by
+    calling :meth:`MetricsRegistry.reset` (which zeroes values without
+    invalidating held metric handles).
+    """
+    return _REGISTRY

@@ -1,0 +1,267 @@
+"""Sim-time tracing: spans and point events over pluggable clocks.
+
+The qualitative half of :mod:`repro.obs`.  A **span** is a named interval
+with attributes (a federation session, a negotiate phase, one supervised
+send); a **point event** is an instant inside a span (a crash, a failover,
+a probe).  Both are stamped by a *clock*:
+
+* :class:`SimClock` reads a DES :class:`~repro.sim.engine.Environment`'s
+  virtual ``now`` -- the clock every federation-time claim of the paper is
+  measured on;
+* outside a simulator the tracer falls back to :data:`WALL_CLOCK`
+  (``time.monotonic``), so the same instrumentation works in plain code.
+
+Span context propagates structurally: ``session()`` opens a root span
+(fresh trace id), :meth:`Span.child` nests, and every record carries
+``(trace, span, parent)`` ids, so a flight recording can be re-assembled
+into per-session timelines by :mod:`repro.tools.trace`.
+
+**The off switch is the fast path.**  The process tracer has no sink by
+default; ``session()``/``child()``/``event()`` then return or touch the
+shared :data:`NULL_SPAN` and do nothing else -- no clock read, no dict, no
+allocation.  ``benchmarks/test_obs_overhead.py`` holds this to a budget so
+instrumentation can stay inline in hot protocol paths.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "NULL_SPAN",
+    "SimClock",
+    "Span",
+    "Tracer",
+    "WALL_CLOCK",
+    "tracer",
+]
+
+
+class SimClock:
+    """Clock adapter over a DES environment: ``clock() == env.now``."""
+
+    kind = "sim"
+    __slots__ = ("env",)
+
+    def __init__(self, env: Any) -> None:
+        self.env = env
+
+    def __call__(self) -> float:
+        return self.env.now
+
+
+class _WallClock:
+    """Monotonic wall clock -- the fallback outside the simulator."""
+
+    kind = "wall"
+    __slots__ = ()
+
+    def __call__(self) -> float:
+        return time.monotonic()
+
+
+WALL_CLOCK = _WallClock()
+
+
+class _NullSpan:
+    """The do-nothing span returned whenever tracing is off."""
+
+    enabled = False
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def child(self, name: str, **attrs: object) -> "_NullSpan":
+        return self
+
+    def event(self, name: str, **attrs: object) -> None:
+        return None
+
+    def set(self, **attrs: object) -> None:
+        return None
+
+    def end(self, **attrs: object) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """A live interval; emitted to the sink when it ends.
+
+    Spans are written to the recording *at end time* (a JSONL stream wants
+    complete records); a span abandoned without ``end()`` -- e.g. a
+    protocol process the simulation never resumed -- is simply absent from
+    the recording.  Point events inside the span are emitted immediately.
+    """
+
+    enabled = True
+    __slots__ = (
+        "_tracer", "name", "trace_id", "span_id", "parent_id",
+        "clock", "start", "attrs", "_ended",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: int,
+        span_id: int,
+        parent_id: Optional[int],
+        clock: Any,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.clock = clock
+        self.start = clock()
+        self.attrs = attrs
+        self._ended = False
+
+    def child(self, name: str, **attrs: object) -> "Span":
+        """Open a nested span sharing this span's trace and clock."""
+        return self._tracer._span(
+            name, self.trace_id, self.span_id, self.clock, dict(attrs)
+        )
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Record a point event inside this span (emitted immediately)."""
+        self._tracer._emit(
+            {
+                "type": "event",
+                "name": name,
+                "trace": self.trace_id,
+                "span": self.span_id,
+                "time": self.clock(),
+                "clock": self.clock.kind,
+                "attrs": dict(attrs),
+            }
+        )
+
+    def set(self, **attrs: object) -> None:
+        """Attach attributes (merged into the record written at end)."""
+        self.attrs.update(attrs)
+
+    def end(self, **attrs: object) -> None:
+        """Close the span and write its record.  Idempotent."""
+        if self._ended:
+            return
+        self._ended = True
+        if attrs:
+            self.attrs.update(attrs)
+        self._tracer._emit(
+            {
+                "type": "span",
+                "name": self.name,
+                "trace": self.trace_id,
+                "span": self.span_id,
+                "parent": self.parent_id,
+                "start": self.start,
+                "end": self.clock(),
+                "clock": self.clock.kind,
+                "attrs": self.attrs,
+            }
+        )
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        if exc is not None:
+            self.attrs.setdefault("error", repr(exc))
+        self.end()
+        return False
+
+
+class Tracer:
+    """Span factory bound to an optional sink (the flight recorder).
+
+    One process-wide instance (:func:`tracer`) serves every subsystem;
+    tests may build private ones.  With no sink attached the tracer is
+    inert: every entry point returns :data:`NULL_SPAN` or returns
+    immediately.
+    """
+
+    def __init__(self) -> None:
+        self._sink: Optional[Any] = None
+        self._span_ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
+
+    @property
+    def enabled(self) -> bool:
+        return self._sink is not None
+
+    @property
+    def sink(self) -> Optional[Any]:
+        return self._sink
+
+    def set_sink(self, sink: Optional[Any]) -> None:
+        """Attach (or detach, with ``None``) the record sink.
+
+        The sink needs one method: ``emit(record: dict)``.
+        """
+        self._sink = sink
+
+    def session(self, name: str, *, clock: Any = None, **attrs: object) -> Any:
+        """Open a root span under a fresh trace id (one per session)."""
+        if self._sink is None:
+            return NULL_SPAN
+        return self._span(
+            name, next(self._trace_ids), None, clock or WALL_CLOCK, dict(attrs)
+        )
+
+    def event(self, name: str, *, clock: Any = None, **attrs: object) -> None:
+        """A free-standing point event (no enclosing span)."""
+        if self._sink is None:
+            return
+        clock = clock or WALL_CLOCK
+        self._emit(
+            {
+                "type": "event",
+                "name": name,
+                "trace": None,
+                "span": None,
+                "time": clock(),
+                "clock": clock.kind,
+                "attrs": dict(attrs),
+            }
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _span(
+        self,
+        name: str,
+        trace_id: int,
+        parent_id: Optional[int],
+        clock: Any,
+        attrs: Dict[str, Any],
+    ) -> Any:
+        if self._sink is None:
+            return NULL_SPAN
+        return Span(
+            self, name, trace_id, next(self._span_ids), parent_id, clock, attrs
+        )
+
+    def _emit(self, record: Dict[str, Any]) -> None:
+        sink = self._sink
+        if sink is not None:
+            sink.emit(record)
+
+
+_TRACER = Tracer()
+
+
+def tracer() -> Tracer:
+    """The process-wide tracer (sink-less, i.e. disabled, by default)."""
+    return _TRACER

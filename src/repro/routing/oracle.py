@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import warnings
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -64,6 +65,7 @@ from typing import (
     Tuple,
 )
 
+from repro.obs import metrics as obs_metrics
 from repro.routing.wang_crowcroft import (
     NeighborFn,
     Node,
@@ -84,9 +86,22 @@ _TREE_FN: Dict[str, Callable[..., Dict[Node, RouteLabel]]] = {
 _CacheKey = Tuple[int, int, str, str, Hashable]
 
 
+#: Counter names the oracle registers (``oracle.<field>``); the metrics
+#: registry is the single backing store, so a registry snapshot and
+#: :meth:`RouteOracle.stats` can never disagree.
+_COUNTER_FIELDS: Tuple[Tuple[str, str], ...] = (
+    ("hits", "tree lookups served from cache"),
+    ("misses", "tree lookups that computed"),
+    ("carried", "trees surviving a mutation via scoped carry-forward"),
+    ("dropped", "trees dropped by scoped invalidation"),
+    ("invalidated", "trees dropped by full (additive) invalidation"),
+    ("evictions", "LRU evictions"),
+)
+
+
 @dataclass
 class OracleStats:
-    """Cumulative counters; snapshot via :meth:`RouteOracle.stats`."""
+    """Counter snapshot; taken via :meth:`RouteOracle.stats`."""
 
     hits: int = 0
     misses: int = 0
@@ -150,13 +165,31 @@ class RouteOracle:
     _default: Optional["RouteOracle"] = None
     _default_lock = threading.Lock()
 
-    def __init__(self, max_entries: int = 4096, *, enabled: bool = True) -> None:
+    def __init__(
+        self,
+        max_entries: int = 4096,
+        *,
+        enabled: bool = True,
+        registry: Optional[obs_metrics.MetricsRegistry] = None,
+    ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
         #: When False every lookup computes directly (no caching, no
         #: counters) -- the A/B switch the perf harness flips.
         self.enabled = enabled
+        #: The counters live in a metrics registry (``oracle.*``): the
+        #: process-wide registry for :meth:`default`, so registry
+        #: snapshots and :meth:`stats` read the same storage; a private
+        #: registry for directly-constructed oracles, so test instances
+        #: never cross-talk.
+        self._registry = registry if registry is not None else (
+            obs_metrics.MetricsRegistry()
+        )
+        self._counters: Dict[str, obs_metrics.Counter] = {
+            name: self._registry.counter(f"oracle.{name}", help)
+            for name, help in _COUNTER_FIELDS
+        }
         self._lock = threading.RLock()
         self._meta: "weakref.WeakKeyDictionary[Any, _GraphMeta]" = (
             weakref.WeakKeyDictionary()
@@ -168,23 +201,31 @@ class RouteOracle:
         #: ``(lineage, epoch) -> keys`` index for O(entries-of-graph)
         #: invalidation instead of full-cache scans.
         self._index: Dict[Tuple[int, int], Set[_CacheKey]] = {}
-        self._stats = OracleStats()
 
     # -- singleton ---------------------------------------------------------
 
     @classmethod
     def default(cls) -> "RouteOracle":
-        """The process-wide oracle (created on first use)."""
+        """The process-wide oracle (created on first use).
+
+        Its counters live in the process-wide metrics registry
+        (:func:`repro.obs.metrics.registry`) under ``oracle.*``.
+        """
         with cls._default_lock:
             if cls._default is None:
-                cls._default = cls()
+                cls._default = cls(registry=obs_metrics.registry())
             return cls._default
 
     @classmethod
     def reset_default(cls) -> "RouteOracle":
-        """Replace the process-wide oracle with a fresh one (tests)."""
+        """Replace the process-wide oracle with a fresh one (tests).
+
+        The ``oracle.*`` counters in the process registry are zeroed so
+        the fresh oracle starts from a clean slate.
+        """
         with cls._default_lock:
-            cls._default = cls()
+            cls._default = cls(registry=obs_metrics.registry())
+            cls._default.reset_stats()
             return cls._default
 
     # -- lookups -----------------------------------------------------------
@@ -226,9 +267,9 @@ class RouteOracle:
             entry = self._cache.get(key)
             if entry is not None:
                 self._cache.move_to_end(key)
-                self._stats.hits += 1
+                self._counters["hits"].inc()
                 return entry.labels
-            self._stats.misses += 1
+            self._counters["misses"].inc()
         labels = tree_fn(neighbors, source)
         with self._lock:
             self._insert(key, _Entry(labels))
@@ -304,7 +345,7 @@ class RouteOracle:
                 return
             for key in self._index.pop((meta.lineage, meta.epoch), ()):
                 if self._cache.pop(key, None) is not None:
-                    self._stats.invalidated += 1
+                    self._counters["invalidated"].inc()
 
     def clear(self) -> None:
         """Drop everything (stats survive; see :meth:`reset_stats`)."""
@@ -315,13 +356,35 @@ class RouteOracle:
     # -- introspection -----------------------------------------------------
 
     def stats(self) -> OracleStats:
-        """A snapshot copy of the counters."""
+        """A snapshot of the counters, read straight from the registry."""
         with self._lock:
-            return OracleStats(**vars(self._stats))
+            return OracleStats(
+                **{
+                    name: int(counter.total)
+                    for name, counter in self._counters.items()
+                }
+            )
+
+    @property
+    def counters(self) -> OracleStats:
+        """Deprecated pre-registry alias for :meth:`stats`.
+
+        The bespoke counters attribute is gone; the ``oracle.*`` counters
+        in :func:`repro.obs.metrics.registry` are the single source of
+        truth and this thin alias merely snapshots them.
+        """
+        warnings.warn(
+            "RouteOracle.counters is deprecated; use RouteOracle.stats() or "
+            "the oracle.* counters in repro.obs.metrics.registry()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.stats()
 
     def reset_stats(self) -> None:
         with self._lock:
-            self._stats = OracleStats()
+            for counter in self._counters.values():
+                counter.reset()
 
     def epoch(self, graph: Any) -> int:
         """Current epoch of ``graph`` (registers it at epoch 0 if new)."""
@@ -403,14 +466,14 @@ class RouteOracle:
                 # tree survives into the new epoch.  (With ``move=False``
                 # the old graph keeps its still-valid entries; the new
                 # epoch simply starts cold.)
-                self._stats.invalidated += 1
+                self._counters["invalidated"].inc()
                 continue
             if entry.touches(touched_nodes, touched_edges):
-                self._stats.dropped += 1
+                self._counters["dropped"].inc()
                 continue
             new_key = (new_meta.lineage, new_meta.epoch) + key[2:]
             self._insert(new_key, entry)
-            self._stats.carried += 1
+            self._counters["carried"].inc()
 
     def _insert(self, key: _CacheKey, entry: _Entry) -> None:
         stale = self._cache.pop(key, None)
@@ -425,7 +488,7 @@ class RouteOracle:
                 bucket.discard(evicted_key)
                 if not bucket:
                     del self._index[evicted_key[:2]]
-            self._stats.evictions += 1
+            self._counters["evictions"].inc()
 
 
 def _touched(

@@ -31,8 +31,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.errors import FederationError
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import tracer as obs_tracer
 from repro.services.flowgraph import ServiceFlowGraph
 from repro.services.requirement import Sid
+
+_REGISTRY = obs_metrics.registry()
+_M_STREAMS = _REGISTRY.counter("dataflow.streams", "simulated stream executions")
+_M_UNITS = _REGISTRY.counter("dataflow.units", "data units pushed through flow graphs")
 
 #: Per-service processing delay: one constant, or a per-SID mapping.
 ProcessingDelay = Union[float, Mapping[Sid, float]]
@@ -171,6 +177,17 @@ def simulate_stream(
     bottleneck = flow_graph.bottleneck_bandwidth()
     predicted = (
         bottleneck / config.unit_size if math.isfinite(bottleneck) else math.inf
+    )
+    _M_STREAMS.inc()
+    _M_UNITS.inc(n)
+    # The sweep above is analytic (no DES clock), so the data-flow phase is
+    # a point event on the wall clock, not a sim-time span.
+    obs_tracer().event(
+        "dataflow.stream",
+        units=n,
+        throughput=throughput,
+        first_delivery=slowest_first,
+        last_delivery=slowest_last,
     )
     return StreamReport(
         units=n,

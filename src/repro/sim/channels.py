@@ -27,9 +27,29 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, Hashable, Optional, Set
 
 from repro.errors import SimulationError
+from repro.obs import metrics as obs_metrics
 from repro.sim.engine import Environment, Event
 
 Address = Hashable
+
+#: Transport metrics (process-wide, across every MessageNetwork): resolved
+#: once at import so the send path pays one counter update, not a registry
+#: lookup.  The per-network :class:`NetworkStats` stays the per-run view;
+#: these registry series are what flight recordings and campaign snapshots
+#: read.
+_REGISTRY = obs_metrics.registry()
+_M_MESSAGES = _REGISTRY.counter("channel.messages", "messages accepted for delivery")
+_M_BYTES = _REGISTRY.counter("channel.bytes", "abstract wire bytes sent")
+_M_DROPPED = _REGISTRY.counter("channel.dropped", "messages to unroutable addresses")
+_M_LOST = _REGISTRY.counter("channel.lost", "messages eaten by the loss model")
+_M_CRASH_DROPPED = _REGISTRY.counter(
+    "channel.crash_dropped", "messages discarded at crashed endpoints"
+)
+_H_DELIVERY = _REGISTRY.histogram(
+    "channel.delivery.latency",
+    "realised delivery latency (virtual time, jitter included) of messages "
+    "actually put in flight",
+)
 
 
 @dataclass(frozen=True)
@@ -171,7 +191,10 @@ class MessageNetwork:
         self._crashed.add(address)
         box = self._mailboxes.get(address)
         if box is not None:
-            self.stats.crash_dropped += box.clear()
+            drained = box.clear()
+            self.stats.crash_dropped += drained
+            if drained:
+                _M_CRASH_DROPPED.inc(drained)
 
     def revive(self, address: Address) -> None:
         """Bring a crashed address back; future deliveries succeed again."""
@@ -205,6 +228,7 @@ class MessageNetwork:
         if box is None:
             if self._drop_unroutable:
                 self.stats.dropped += 1
+                _M_DROPPED.inc()
                 return None
             raise SimulationError(f"cannot deliver to unregistered address {dst!r}")
         if latency is None:
@@ -219,14 +243,19 @@ class MessageNetwork:
         self.stats.messages += 1
         self.stats.bytes += size
         self.stats.per_destination[dst] = self.stats.per_destination.get(dst, 0) + 1
+        _M_MESSAGES.inc()
+        _M_BYTES.inc(size)
         if dst in self._crashed:
             # The sender transmitted into the void; nothing arrives.
             self.stats.crash_dropped += 1
+            _M_CRASH_DROPPED.inc()
             return envelope
         if self._loss_fn is not None and self._loss_fn(src, dst, envelope):
             # The sender paid for the transmission; the network ate it.
             self.stats.lost += 1
+            _M_LOST.inc()
             return envelope
+        _H_DELIVERY.observe(latency)
         delivery = Event(self.env)
         delivery.callbacks.append(lambda _e: self._deliver(box, envelope))
         delivery.succeed(delay=latency)
@@ -237,6 +266,7 @@ class MessageNetwork:
         destination crashes is discarded, not queued."""
         if envelope.dst in self._crashed:
             self.stats.crash_dropped += 1
+            _M_CRASH_DROPPED.inc()
             return
         box.put(envelope)
 

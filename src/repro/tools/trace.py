@@ -1,0 +1,202 @@
+"""Render a federation flight recording from the command line.
+
+Usage::
+
+    python -m repro.tools.trace run.jsonl [--session N] [--metrics-only]
+        [--no-metrics]
+
+Reads a JSONL recording written by :mod:`repro.obs.recorder` and prints,
+per session (root span): the sim-time window, the outcome attributes the
+protocol attached (messages, failovers, recovery latency, ...), and a
+merged timeline of child spans and point events in time order.  After the
+sessions comes the metric summary: every counter with its per-label
+totals, every histogram with count/mean.
+
+The recording is self-describing, so this tool never needs the process
+that produced it -- CI records a chaos run, uploads the JSONL, and this
+renderer is the replay.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.recorder import Recording, load_recording
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _fmt_attrs(attrs: Dict[str, Any], *, skip: Sequence[str] = ()) -> str:
+    parts = [
+        f"{key}={_fmt(value)}"
+        for key, value in attrs.items()
+        if key not in skip and value not in (None, "")
+    ]
+    return " ".join(parts)
+
+
+def render_session(
+    recording: Recording, session: Dict[str, Any], ordinal: int
+) -> List[str]:
+    """The per-session block: header, attrs, merged sim-time timeline."""
+    trace = session.get("trace")
+    start = session.get("start") or 0.0
+    end = session.get("end") or start
+    lines = [
+        f"session {ordinal}: {session.get('name')} "
+        f"[{session.get('clock')}] {start:g} -> {end:g} "
+        f"(duration {end - start:g})"
+    ]
+    attrs = _fmt_attrs(session.get("attrs") or {})
+    if attrs:
+        lines.append(f"  {attrs}")
+    rows: List[tuple] = []
+    root_id = session.get("span")
+    for span in recording.spans_of(trace):
+        if span.get("span") == root_id:
+            continue
+        s, e = span.get("start") or 0.0, span.get("end") or 0.0
+        rows.append(
+            (
+                s,
+                0,
+                f"span  {span.get('name')} ({e - s:g}) "
+                f"{_fmt_attrs(span.get('attrs') or {})}".rstrip(),
+            )
+        )
+    for seq, event in enumerate(recording.events_of(trace)):
+        rows.append(
+            (
+                event.get("time") or 0.0,
+                1 + seq,  # events after spans at equal times, stream order
+                f"event {event.get('name')} "
+                f"{_fmt_attrs(event.get('attrs') or {})}".rstrip(),
+            )
+        )
+    if rows:
+        lines.append("  timeline:")
+        for when, _, text in sorted(rows, key=lambda r: (r[0], r[1])):
+            lines.append(f"    {when:>10g}  {text}")
+    return lines
+
+
+def render_metrics(recording: Recording) -> List[str]:
+    """The metric summary block: counters with totals, histogram stats."""
+    if not recording.metrics:
+        return ["metrics: (no snapshot in recording)"]
+    lines = ["metrics:"]
+    for name in sorted(recording.metrics):
+        record = recording.metrics[name]
+        kind = record.get("kind")
+        values = record.get("values", {})
+        if kind == "counter":
+            total = sum(values.values())
+            lines.append(f"  counter   {name:<28} total={_fmt(total)}")
+            for labels in sorted(values):
+                if labels:
+                    lines.append(
+                        f"            {'':<28} {labels}: {_fmt(values[labels])}"
+                    )
+        elif kind == "gauge":
+            for labels in sorted(values):
+                suffix = f" {labels}" if labels else ""
+                lines.append(
+                    f"  gauge     {name:<28} {_fmt(values[labels])}{suffix}"
+                )
+        elif kind == "histogram":
+            for labels in sorted(values):
+                series = values[labels]
+                count = series.get("count", 0)
+                mean = series.get("sum", 0.0) / count if count else 0.0
+                suffix = f" {labels}" if labels else ""
+                lines.append(
+                    f"  histogram {name:<28} count={count} "
+                    f"mean={mean:g}{suffix}"
+                )
+    return lines
+
+
+def render(
+    recording: Recording,
+    *,
+    session: Optional[int] = None,
+    metrics: bool = True,
+    metrics_only: bool = False,
+) -> str:
+    """The full report as one printable string."""
+    lines: List[str] = []
+    meta = recording.meta
+    header = f"flight recording ({meta.get('format', 'unknown format')})"
+    extra = _fmt_attrs(meta, skip=("type", "format"))
+    if extra:
+        header += f" {extra}"
+    lines.append(header)
+    summary = recording.summary
+    lines.append(
+        f"sessions: {len(recording.sessions())}   "
+        f"spans: {summary.get('spans', len(recording.spans))}   "
+        f"events: {summary.get('events', len(recording.events))}"
+    )
+    if not metrics_only:
+        for ordinal, row in enumerate(recording.sessions(), start=1):
+            if session is not None and ordinal != session:
+                continue
+            lines.append("")
+            lines.extend(render_session(recording, row, ordinal))
+    if metrics or metrics_only:
+        lines.append("")
+        lines.extend(render_metrics(recording))
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Render an sFlow flight recording (JSONL)."
+    )
+    parser.add_argument("recording", type=Path, help="recording JSONL file")
+    parser.add_argument(
+        "--session",
+        type=int,
+        default=None,
+        metavar="N",
+        help="only render the Nth session (1-based, recording order)",
+    )
+    parser.add_argument(
+        "--metrics-only",
+        action="store_true",
+        help="skip sessions, print just the metric summary",
+    )
+    parser.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="skip the metric summary",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if not args.recording.exists():
+        print(f"error: no such recording: {args.recording}", file=sys.stderr)
+        return 2
+    recording = load_recording(args.recording)
+    print(
+        render(
+            recording,
+            session=args.session,
+            metrics=not args.no_metrics,
+            metrics_only=args.metrics_only,
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    sys.exit(main())

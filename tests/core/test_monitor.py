@@ -180,3 +180,47 @@ class TestInstanceFailure:
         report = fed.run(until=30)
         times = [e.time for e in report.events]
         assert times == sorted(times)
+
+
+class TestEventOrdering:
+    def test_shared_timestamps_keep_log_order(self):
+        """Events at one sim instant sort by their append sequence."""
+        from repro.core.monitor import MonitorEvent, MonitorReport
+
+        shuffled = [
+            MonitorEvent(5.0, "violation", 1.0, seq=3),
+            MonitorEvent(5.0, "probe", 1.0, seq=2),
+            MonitorEvent(0.0, "probe", 4.0, seq=0),
+            MonitorEvent(5.0, "repair", 4.0, seq=4),
+            MonitorEvent(0.0, "mutation", 4.0, seq=1),
+        ]
+        report = MonitorReport(events=shuffled, final_graph=None, repairs=1)
+        assert [(e.time, e.kind) for e in report.events] == [
+            (0.0, "probe"),
+            (0.0, "mutation"),
+            (5.0, "probe"),
+            (5.0, "violation"),
+            (5.0, "repair"),
+        ]
+        assert [e.seq for e in report.events] == [0, 1, 2, 3, 4]
+
+    def test_live_run_assigns_unique_increasing_seq(self, scenario):
+        fed = monitored(scenario)
+        victim = fed.graph.instance_for("map")
+        fed.schedule_mutation(
+            10.0, lambda overlay: fail_instances(overlay, [victim]), "crash"
+        )
+        report = fed.run(until=30)
+        seqs = [e.seq for e in report.events]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+        # The mutation fires at t=10.0, the same instant as a probe round:
+        # (time, seq) keeps their observed order stable.
+        at_ten = [e for e in report.events if e.time == 10.0]
+        assert len(at_ten) >= 2
+
+    def test_events_of_unknown_kind_returns_empty(self, scenario):
+        fed = monitored(scenario)
+        report = fed.run(until=10)
+        assert report.events_of("hologram") == []
+        assert report.events_of("") == []

@@ -256,3 +256,51 @@ class TestConfigValidation:
         ghost = ServiceInstance("ghost", 99)
         with pytest.raises(SFlowError, match="ghost"):
             federate(scenario, crash_plan(CrashEvent(ghost, at=1.0)))
+
+
+class TestFlightRecording:
+    def test_recovery_events_are_traced_in_sim_time(self, scenario, tmp_path):
+        """With a recording active, every RecoveryEvent re-emits as a trace
+        event at the same virtual time, inside the session's span."""
+        from repro import obs
+
+        baseline = federate(scenario)
+        victim = pick_victim(scenario, baseline)
+        path = tmp_path / "crash.jsonl"
+        obs.stop_recording()
+        with obs.recording(path):
+            result = federate(scenario, chaos=crash_plan(CrashEvent(victim, at=1.0)))
+        assert result.outcome is FederationOutcome.SUCCEEDED
+        assert result.recovery_log
+
+        recording = obs.load_recording(path)
+        [session] = recording.sessions()
+        traced = [
+            event
+            for event in recording.events_of(session["trace"])
+            if event["name"].startswith("recovery.")
+        ]
+        assert [
+            (event["time"], event["name"]) for event in traced
+        ] == [
+            (entry.time, "recovery." + entry.kind)
+            for entry in result.recovery_log
+        ]
+        assert all(event["clock"] == "sim" for event in traced)
+        assert session["attrs"]["failovers"] == result.failovers
+        assert session["attrs"]["recovery_latency"] == pytest.approx(
+            result.convergence_time - result.recovery_log[0].time
+        )
+
+    def test_undisturbed_run_records_no_recovery_events(self, scenario, tmp_path):
+        from repro import obs
+
+        path = tmp_path / "clean.jsonl"
+        obs.stop_recording()
+        with obs.recording(path):
+            federate(scenario)
+        recording = obs.load_recording(path)
+        assert not any(
+            e["name"].startswith("recovery.") for e in recording.events
+        )
+        assert recording.counter_total("sflow.recovery.events") >= 0

@@ -177,3 +177,69 @@ class TestParallelDeterminism:
         assert resolve_workers(4, 2) == 2
         assert resolve_workers(-1, 100) >= 0
         assert resolve_workers(8, 1) == 0
+
+
+class TestMergedMetrics:
+    """Per-cell metric deltas merge identically across the worker split."""
+
+    @staticmethod
+    def _counters(snapshot):
+        return {
+            name: record["values"]
+            for name, record in snapshot.items()
+            if record["kind"] == "counter"
+        }
+
+    def test_parallel_merged_counters_match_serial(self):
+        from dataclasses import replace as dc_replace
+
+        from repro.eval.experiments import run_evaluation_with_metrics
+
+        config = EvaluationConfig(
+            network_sizes=(10,), trials=2, n_services=4, seed=3
+        )
+        serial_records, serial_metrics = run_evaluation_with_metrics(config)
+        parallel_records, parallel_metrics = run_evaluation_with_metrics(
+            dc_replace(config, workers=2)
+        )
+        normalize = TestParallelDeterminism._normalized
+        assert normalize(parallel_records) == normalize(serial_records)
+        assert self._counters(parallel_metrics) == self._counters(
+            serial_metrics
+        )
+        # Histogram integer series (count/buckets) must agree too; only the
+        # float sums may differ in the last bits.
+        for name, record in serial_metrics.items():
+            if record["kind"] != "histogram":
+                continue
+            twin = parallel_metrics[name]
+            for labels, series in record["values"].items():
+                assert twin["values"][labels]["count"] == series["count"]
+                assert twin["values"][labels]["buckets"] == series["buckets"]
+
+    def test_sweep_counts_protocol_sessions(self):
+        from repro.eval.experiments import run_evaluation_with_metrics
+
+        config = EvaluationConfig(
+            network_sizes=(10,), trials=2, n_services=4, seed=3
+        )
+        _, metrics = run_evaluation_with_metrics(config)
+        # One sflow federation per (size, trial) cell.
+        sessions = sum(metrics["sflow.sessions"]["values"].values())
+        assert sessions == 2
+        assert sum(metrics["channel.messages"]["values"].values()) > 0
+
+    def test_pooled_sweep_folds_worker_deltas_into_parent_registry(self):
+        from dataclasses import replace as dc_replace
+
+        from repro.obs import metrics as obs_metrics
+        from repro.eval.experiments import run_evaluation_with_metrics
+
+        config = EvaluationConfig(
+            network_sizes=(10,), trials=2, n_services=4, seed=3, workers=2
+        )
+        counter = obs_metrics.registry().counter("sflow.sessions")
+        before = counter.total
+        _, metrics = run_evaluation_with_metrics(config)
+        gained = counter.total - before
+        assert gained == sum(metrics["sflow.sessions"]["values"].values())

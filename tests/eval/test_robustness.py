@@ -125,3 +125,38 @@ class TestParallelDeterminism:
         serial = run_robustness(config)
         parallel = run_robustness(dc_replace(config, workers=2))
         assert parallel == serial
+
+
+class TestMergedMetrics:
+    def test_run_with_metrics_counters_match_across_worker_split(self):
+        from dataclasses import replace as dc_replace
+
+        config = RobustnessConfig(
+            network_sizes=(10,),
+            crash_rates=(0.0, 0.2),
+            trials=2,
+            n_services=4,
+            seed=5,
+        )
+        serial_records, serial_metrics = RobustnessExperiment(
+            config
+        ).run_with_metrics()
+        parallel_records, parallel_metrics = RobustnessExperiment(
+            dc_replace(config, workers=2)
+        ).run_with_metrics()
+        assert parallel_records == serial_records
+
+        def counters(snapshot):
+            return {
+                name: record["values"]
+                for name, record in snapshot.items()
+                if record["kind"] == "counter"
+            }
+
+        assert counters(parallel_metrics) == counters(serial_metrics)
+        # Each cell runs 1 baseline + len(crash_rates) disturbed sessions.
+        sessions = sum(serial_metrics["sflow.sessions"]["values"].values())
+        assert sessions == 2 * (1 + 2)
+        # The crash-rate-0.2 runs crashed instances; the registry saw them.
+        crashes = sum(serial_metrics["sflow.crashes"]["values"].values())
+        assert crashes == sum(r.crashes for r in serial_records)

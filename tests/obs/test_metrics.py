@@ -1,0 +1,175 @@
+"""Tests for the metrics registry and its snapshot algebra."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    diff_snapshots,
+    format_labels,
+    merge_snapshots,
+    parse_labels,
+    registry,
+)
+
+
+class TestLabels:
+    def test_roundtrip(self):
+        key = (("algo", "sflow"), ("outcome", "failed"))
+        assert parse_labels(format_labels(key)) == key
+
+    def test_unlabelled_is_empty_string(self):
+        assert format_labels(()) == ""
+        assert parse_labels("") == ()
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("c")
+        counter.inc(b="2", a="1")
+        counter.inc(a="1", b="2")
+        assert counter.value(a="1", b="2") == 2.0
+        assert list(counter.snapshot_values()) == ["a=1,b=2"]
+
+
+class TestCounter:
+    def test_inc_and_total(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("runs")
+        counter.inc()
+        counter.inc(2, outcome="failed")
+        assert counter.value() == 1.0
+        assert counter.value(outcome="failed") == 2.0
+        assert counter.total == 3.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c") is reg.counter("c")
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("c")
+        with pytest.raises(ValueError):
+            reg.gauge("c")
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(4)
+        gauge.add(-1)
+        assert gauge.value() == 3.0
+
+
+class TestHistogram:
+    def test_bucketing_is_le(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", buckets=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 10.0, 11.0):
+            hist.observe(value)
+        series = hist.snapshot_values()[""]
+        # v <= 1.0 -> bucket 0; 1.0 < v <= 10.0 -> bucket 1; else overflow.
+        assert series["buckets"] == [2, 2, 1]
+        assert series["count"] == 5
+        assert series["sum"] == pytest.approx(27.5)
+        assert hist.mean() == pytest.approx(27.5 / 5)
+
+    def test_bad_bounds_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            reg.histogram("h2", buckets=(2.0, 1.0))
+
+    def test_conflicting_buckets_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            reg.histogram("h", buckets=(1.0, 3.0))
+
+
+class TestSnapshots:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3, kind="x")
+        reg.gauge("g").set(7)
+        reg.histogram("h").observe(2.0)
+        return reg
+
+    def test_snapshot_is_json_serialisable(self):
+        snap = self._registry().snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_reset_zeroes_but_keeps_handles(self):
+        reg = self._registry()
+        counter = reg.counter("c")
+        reg.reset()
+        assert counter.total == 0.0
+        counter.inc()
+        assert reg.counter("c").total == 1.0
+
+    def test_apply_folds_delta_into_registry(self):
+        reg = self._registry()
+        other = MetricsRegistry()
+        other.apply(reg.snapshot())
+        other.apply(reg.snapshot())
+        assert other.counter("c").value(kind="x") == 6.0
+        assert other.gauge("g").value() == 7.0
+        assert other.histogram("h").count() == 2
+
+    def test_merge_adds_counters_and_histograms(self):
+        a = self._registry().snapshot()
+        b = self._registry().snapshot()
+        merged = merge_snapshots(a, b)
+        assert merged["c"]["values"]["kind=x"] == 6.0
+        assert merged["h"]["values"][""]["count"] == 2
+        assert merged["g"]["values"][""] == 7.0  # last write wins
+
+    def test_merge_does_not_mutate_inputs(self):
+        a = self._registry().snapshot()
+        b = self._registry().snapshot()
+        merge_snapshots(a, b)
+        assert a["c"]["values"]["kind=x"] == 3.0
+
+    def test_diff_isolates_the_increment(self):
+        reg = self._registry()
+        before = reg.snapshot()
+        reg.counter("c").inc(5, kind="x")
+        reg.histogram("h").observe(100.0)
+        delta = diff_snapshots(reg.snapshot(), before)
+        assert delta["c"]["values"] == {"kind=x": 5.0}
+        assert delta["h"]["values"][""]["count"] == 1
+
+    def test_diff_of_untouched_counters_is_empty(self):
+        # Gauges have no delta (they keep their after-value), which is why
+        # instrumented hot paths stick to counters and histograms.
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3, kind="x")
+        reg.histogram("h").observe(2.0)
+        snap = reg.snapshot()
+        assert diff_snapshots(reg.snapshot(), snap) == {}
+
+    def test_diff_then_apply_reconstructs(self):
+        reg = self._registry()
+        before = reg.snapshot()
+        reg.counter("c").inc(2, kind="y")
+        delta = diff_snapshots(reg.snapshot(), before)
+        twin = MetricsRegistry()
+        twin.apply(before)
+        twin.apply(delta)
+        assert twin.snapshot()["c"] == reg.snapshot()["c"]
+
+
+class TestProcessRegistry:
+    def test_singleton(self):
+        assert registry() is registry()
+
+    def test_default_buckets_strictly_increase(self):
+        assert all(
+            b2 > b1 for b1, b2 in zip(DEFAULT_BUCKETS, DEFAULT_BUCKETS[1:])
+        )

@@ -1,0 +1,135 @@
+"""Tests for sim-time tracing: spans, clocks, and the disabled fast path."""
+
+from repro.obs.trace import NULL_SPAN, SimClock, Span, Tracer, WALL_CLOCK
+from repro.sim.engine import Environment
+
+
+class ListSink:
+    def __init__(self):
+        self.records = []
+
+    def emit(self, record):
+        self.records.append(record)
+
+
+class TestDisabledPath:
+    def test_no_sink_means_null_span(self):
+        tracer = Tracer()
+        assert not tracer.enabled
+        span = tracer.session("s")
+        assert span is NULL_SPAN
+        assert span.child("x") is NULL_SPAN
+        span.event("e", detail=1)
+        span.set(a=1)
+        span.end()
+        with span:
+            pass
+
+    def test_free_event_is_dropped(self):
+        tracer = Tracer()
+        tracer.event("orphan", x=1)  # must not raise, must not allocate ids
+
+    def test_null_span_advertises_disabled(self):
+        assert NULL_SPAN.enabled is False
+
+
+class TestSpans:
+    def _tracer(self):
+        tracer = Tracer()
+        sink = ListSink()
+        tracer.set_sink(sink)
+        return tracer, sink
+
+    def test_session_emits_span_on_end(self):
+        tracer, sink = self._tracer()
+        span = tracer.session("sess", kind="test")
+        assert sink.records == []  # spans are written at end time
+        span.end(outcome="ok")
+        [record] = sink.records
+        assert record["type"] == "span"
+        assert record["name"] == "sess"
+        assert record["parent"] is None
+        assert record["attrs"] == {"kind": "test", "outcome": "ok"}
+        assert record["clock"] == "wall"
+
+    def test_end_is_idempotent(self):
+        tracer, sink = self._tracer()
+        span = tracer.session("s")
+        span.end()
+        span.end(extra=1)
+        assert len(sink.records) == 1
+        assert "extra" not in sink.records[0]["attrs"]
+
+    def test_child_shares_trace_and_points_at_parent(self):
+        tracer, sink = self._tracer()
+        root = tracer.session("root")
+        child = root.child("phase")
+        child.end()
+        root.end()
+        child_rec, root_rec = sink.records
+        assert child_rec["trace"] == root_rec["trace"]
+        assert child_rec["parent"] == root_rec["span"]
+        assert child_rec["span"] != root_rec["span"]
+
+    def test_sessions_get_fresh_trace_ids(self):
+        tracer, sink = self._tracer()
+        tracer.session("a").end()
+        tracer.session("b").end()
+        a, b = sink.records
+        assert a["trace"] != b["trace"]
+
+    def test_events_emit_immediately_inside_span(self):
+        tracer, sink = self._tracer()
+        span = tracer.session("s")
+        span.event("tick", n=3)
+        [record] = sink.records
+        assert record["type"] == "event"
+        assert record["span"] == span.span_id
+        assert record["attrs"] == {"n": 3}
+
+    def test_context_manager_records_error(self):
+        tracer, sink = self._tracer()
+        try:
+            with tracer.session("s"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        [record] = sink.records
+        assert "boom" in record["attrs"]["error"]
+
+    def test_abandoned_span_is_absent(self):
+        tracer, sink = self._tracer()
+        tracer.session("never-ended")
+        assert sink.records == []
+
+
+class TestClocks:
+    def test_sim_clock_reads_environment_now(self):
+        env = Environment()
+        clock = SimClock(env)
+
+        def proc():
+            yield env.timeout(5.0)
+
+        done = env.process(proc())
+        tracer = Tracer()
+        sink = ListSink()
+        tracer.set_sink(sink)
+        span = tracer.session("s", clock=clock)
+        assert span.start == 0.0
+        env.run(until=done)
+        span.end()
+        [record] = sink.records
+        assert record["clock"] == "sim"
+        assert record["end"] == 5.0
+
+    def test_wall_clock_is_monotonic(self):
+        assert WALL_CLOCK.kind == "wall"
+        assert WALL_CLOCK() <= WALL_CLOCK()
+
+    def test_default_clock_is_wall(self):
+        tracer = Tracer()
+        tracer.set_sink(ListSink())
+        span = tracer.session("s")
+        assert isinstance(span, Span)
+        assert span.clock is WALL_CLOCK

@@ -251,3 +251,50 @@ class TestMutationChains:
                 assert oracle.tree(graph, inst) == shortest_widest_tree(
                     graph.successors, inst
                 ), f"stale tree served for {inst} (seed {seed})"
+
+
+class TestRegistryExport:
+    """Oracle counters live in the metrics registry (single backing store)."""
+
+    def test_stats_and_registry_read_the_same_store(self):
+        from repro.obs import metrics as obs_metrics
+
+        scenario = generate_scenario(
+            ScenarioConfig(network_size=12, n_services=4, seed=5)
+        )
+        overlay = scenario.overlay
+        oracle = RouteOracle.default()
+        source = next(iter(overlay.instances()))
+        oracle.tree(overlay, source)
+        oracle.tree(overlay, source)
+        stats = oracle.stats()
+        reg = obs_metrics.registry()
+        assert stats.hits == reg.counter("oracle.hits").total
+        assert stats.misses == reg.counter("oracle.misses").total
+        snapshot = reg.snapshot()
+        assert snapshot["oracle.hits"]["values"].get("", 0.0) == stats.hits
+        assert stats.hits >= 1 and stats.misses >= 1
+
+    def test_private_instances_do_not_touch_the_global_registry(self):
+        from repro.obs import metrics as obs_metrics
+
+        before = obs_metrics.registry().counter("oracle.misses").total
+        oracle = RouteOracle()  # private registry by default
+        oracle.tree(diamond_overlay(), ServiceInstance("A", 0))
+        assert oracle.stats().misses == 1
+        assert obs_metrics.registry().counter("oracle.misses").total == before
+
+    def test_reset_default_zeroes_registry_counters(self):
+        from repro.obs import metrics as obs_metrics
+
+        oracle = RouteOracle.default()
+        oracle.tree(diamond_overlay(), ServiceInstance("A", 0))
+        RouteOracle.reset_default()
+        assert obs_metrics.registry().counter("oracle.misses").total == 0
+
+    def test_counters_attribute_is_a_deprecated_alias(self):
+        oracle = RouteOracle.default()
+        oracle.tree(diamond_overlay(), ServiceInstance("A", 0))
+        with pytest.warns(DeprecationWarning):
+            legacy = oracle.counters
+        assert legacy == oracle.stats()

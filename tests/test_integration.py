@@ -6,6 +6,7 @@ evaluation findings, plus the worked travel-agency example end to end.
 They are the executable summary of EXPERIMENTS.md.
 """
 
+import gc
 import random
 
 import pytest
@@ -36,6 +37,21 @@ def sweep():
     return run_evaluation(CONFIG)
 
 
+@pytest.fixture(scope="module")
+def timing_table():
+    """Fig. 10(b) sweep with GC pauses excluded from the timed windows.
+
+    Late in a full-suite run a gen-2 collection costs hundreds of ms;
+    one landing inside a ~2 ms solver window swamps the measurement.
+    """
+    gc.collect()
+    gc.disable()
+    try:
+        return fig10b(CONFIG)
+    finally:
+        gc.enable()
+
+
 class TestFig10Shapes:
     def test_sflow_correctness_dominates_controls(self, sweep):
         table = fig10a(CONFIG, records=sweep)
@@ -49,15 +65,15 @@ class TestFig10Shapes:
         table = fig10a(CONFIG, records=sweep)
         assert all(v >= 0.75 for v in table.series["sflow"])
 
-    def test_computation_time_grows_with_network(self):
-        table = fig10b(CONFIG)
+    def test_computation_time_grows_with_network(self, timing_table):
+        table = timing_table
         assert table.series["sflow"][-1] > table.series["sflow"][0]
         assert table.series["optimal"][-1] > table.series["optimal"][0]
 
-    def test_optimal_computation_cheaper_than_distributed(self):
+    def test_optimal_computation_cheaper_than_distributed(self, timing_table):
         """The paper: the global optimal 'is computed once at the sink', so
         its time sits slightly below sFlow's distributed re-computations."""
-        table = fig10b(CONFIG)
+        table = timing_table
         for sflow_t, optimal_t in zip(
             table.series["sflow"], table.series["optimal"]
         ):

@@ -74,7 +74,11 @@ class TestSolverHierarchy:
             scenario.overlay,
             source_instance=scenario.source_instance,
         )
-        assert solved.quality() == optimal.quality()
+        quality, expected = solved.quality(), optimal.quality()
+        # Bandwidth is a min over edges -- exact; latency is a sum, so the
+        # two solvers can disagree in the last bits by association order.
+        assert quality.bandwidth == expected.bandwidth
+        assert quality.latency == pytest.approx(expected.latency)
 
     @given(small_scenarios)
     @settings(max_examples=20, deadline=None)
