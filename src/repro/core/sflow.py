@@ -67,13 +67,13 @@ from __future__ import annotations
 
 import enum
 import random
-import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.errors import FederationError, SimulationError
 from repro.network.failures import ChaosPlan
 from repro.obs import metrics as obs_metrics
+from repro.obs.clock import Stopwatch
 from repro.obs.trace import NULL_SPAN, SimClock, tracer as obs_tracer
 from repro.network.metrics import PathQuality, UNREACHABLE
 from repro.network.overlay import OverlayGraph, ServiceInstance
@@ -477,7 +477,7 @@ class _SFlowNode:
             fed.complete_sink(my_sid, pins, pin_gens, edges, self.generation)
             return
 
-        started = time.perf_counter()
+        started = fed.stopwatch.read()
         residual = fed.requirement.downstream_closure(my_sid)
         view = fed.local_view(self.me)
         planning = _PlanningView(
@@ -505,7 +505,7 @@ class _SFlowNode:
                 for sid in residual.services()
             }
             assignment[my_sid] = self.me
-        elapsed = time.perf_counter() - started
+        elapsed = fed.stopwatch.read() - started
         fed.record_compute(self.me, elapsed)
 
         # Pin every service whose decision responsibility lies here.
@@ -556,11 +556,15 @@ class _Federation:
         source_instance: ServiceInstance,
         config: SFlowConfig,
         chaos: Optional[ChaosPlan] = None,
+        stopwatch: Optional[Stopwatch] = None,
     ) -> None:
         self.requirement = requirement
         self.overlay = overlay
         self.source_instance = source_instance
         self.config = config
+        #: Host-compute measurements (solver timing, setup cost) go through
+        #: an injectable clock; protocol code never reads wall time directly.
+        self.stopwatch = stopwatch if stopwatch is not None else Stopwatch()
         self.env = Environment()
         self.chaos = chaos if chaos is not None and chaos.active else None
         if self.chaos is not None:
@@ -593,7 +597,7 @@ class _Federation:
         self.retransmissions = 0
         self.acks_sent = 0
         self.idom = requirement.immediate_dominators()
-        _t0 = time.perf_counter()
+        _t0 = self.stopwatch.read()
         self.directory: Dict[Sid, Tuple[ServiceInstance, ...]] = {
             sid: overlay.instances_of(sid) for sid in requirement.services()
         }
@@ -602,11 +606,11 @@ class _Federation:
                 raise FederationError(
                     f"required service {sid!r} has no instance in the overlay"
                 )
-        _t1 = time.perf_counter()
+        _t1 = self.stopwatch.read()
         # Ground-truth abstract graph used only to realise committed edges
         # (established routing state), never for decision making.
         self.abstract = AbstractGraph.build(requirement, overlay)
-        _t2 = time.perf_counter()
+        _t2 = self.stopwatch.read()
         self.fallback_latency = self._mean_latency()
         self.hints: Dict[ServiceInstance, PathQuality] = (
             self._gossip_hints() if config.gossip_hints else {}
@@ -617,7 +621,7 @@ class _Federation:
             report = collect_local_views(overlay, config.horizon)
             self._views = report.views
             self.link_state_messages = report.messages
-        _t3 = time.perf_counter()
+        _t3 = self.stopwatch.read()
         #: Wall-clock setup cost, reported as zero-length sim-time spans by
         #: :meth:`run` -- setup happens before the DES clock starts ticking.
         self._setup_seconds = {
@@ -906,7 +910,7 @@ class _Federation:
             if inst not in self.suspected
         }
         pins[my_sid] = src
-        started = time.perf_counter()
+        started = self.stopwatch.read()
         planning = _PlanningView(
             residual,
             self.local_view(src),
@@ -927,7 +931,7 @@ class _Federation:
             replacement = assignment.get(dead.sid)
         except FederationError:
             replacement = None
-        self.record_compute(src, time.perf_counter() - started)
+        self.record_compute(src, self.stopwatch.read() - started)
         if replacement is None or replacement in self.suspected:
             replacement = self._live_alternative(dead.sid)
         if replacement is None:
@@ -1217,8 +1221,16 @@ class SFlowAlgorithm:
 
     name = "sflow"
 
-    def __init__(self, config: Optional[SFlowConfig] = None):
+    def __init__(
+        self,
+        config: Optional[SFlowConfig] = None,
+        *,
+        stopwatch: Optional[Stopwatch] = None,
+    ):
         self.config = config or SFlowConfig()
+        #: Injectable host clock used for the solver-timing measurements
+        #: (``local_compute_seconds``); tests pass a scripted fake.
+        self.stopwatch = stopwatch if stopwatch is not None else Stopwatch()
         self.last_result: Optional[SFlowResult] = None
 
     def solve(
@@ -1262,7 +1274,8 @@ class SFlowAlgorithm:
                 )
             source_instance = pool[0]
         federation = _Federation(
-            requirement, overlay, source_instance, self.config, chaos
+            requirement, overlay, source_instance, self.config, chaos,
+            stopwatch=self.stopwatch,
         )
         self.last_result = federation.run()
         return self.last_result

@@ -11,11 +11,11 @@ and wraps outputs in :class:`FederationResult` with timing attached.
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Protocol, runtime_checkable
 
 from repro.network.overlay import OverlayGraph, ServiceInstance
+from repro.obs.clock import Stopwatch
 from repro.services.flowgraph import ServiceFlowGraph
 from repro.services.requirement import ServiceRequirement
 
@@ -64,19 +64,24 @@ def timed_solve(
     *,
     source_instance: Optional[ServiceInstance] = None,
     rng: Optional[random.Random] = None,
+    stopwatch: Optional[Stopwatch] = None,
 ) -> FederationResult:
-    """Run an algorithm under ``perf_counter`` timing.
+    """Run an algorithm under injectable host-clock timing.
 
-    For the distributed sFlow algorithm the wall time measured here covers
-    the whole simulated federation; the algorithm additionally reports its
-    pure local-computation time through ``extras`` (see
+    Timing goes through a :class:`repro.obs.clock.Stopwatch` (a fresh
+    default one unless the caller injects its own -- tests inject a fake
+    clock to get deterministic elapsed values).  For the distributed
+    sFlow algorithm the wall time measured here covers the whole
+    simulated federation; the algorithm additionally reports its pure
+    local-computation time through ``extras`` (see
     :class:`repro.core.sflow.SFlowResult`).
     """
-    start = time.perf_counter()
+    stopwatch = stopwatch if stopwatch is not None else Stopwatch()
+    start = stopwatch.read()
     graph = algorithm.solve(
         requirement, overlay, source_instance=source_instance, rng=rng
     )
-    elapsed = time.perf_counter() - start
+    elapsed = stopwatch.read() - start
     extras: Dict[str, Any] = {}
     last = getattr(algorithm, "last_result", None)
     if last is not None:

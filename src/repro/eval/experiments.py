@@ -17,7 +17,6 @@ from __future__ import annotations
 import multiprocessing
 import os
 import random
-import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -30,6 +29,7 @@ from repro.core.optimal import GlobalOptimalAlgorithm
 from repro.core.sflow import SFlowAlgorithm, SFlowConfig
 from repro.errors import FederationError
 from repro.obs import metrics as obs_metrics
+from repro.obs.clock import Stopwatch
 from repro.services.flowgraph import ServiceFlowGraph
 from repro.services.requirement import RequirementClass
 from repro.services.workloads import Scenario, ScenarioConfig, generate_scenario
@@ -116,14 +116,17 @@ def run_trial(
     pareto: bool = True,
     use_link_state: bool = False,
     rng: Optional[random.Random] = None,
+    stopwatch: Optional[Stopwatch] = None,
 ) -> List[TrialRecord]:
     """Run the full algorithm line-up on one scenario.
 
     Returns one record per algorithm.  The optimal benchmark always runs
     (it defines the correctness coefficient); if the scenario is infeasible
-    even for it, every record is marked infeasible.
+    even for it, every record is marked infeasible.  ``stopwatch``
+    injects the host clock behind ``elapsed_seconds`` (tests script it).
     """
     rng = rng or random.Random(scenario.seed)
+    stopwatch = stopwatch if stopwatch is not None else Stopwatch()
     requirement = scenario.requirement
     overlay = scenario.overlay
     source = scenario.source_instance
@@ -178,12 +181,12 @@ def run_trial(
     records: List[TrialRecord] = []
 
     optimal_alg = GlobalOptimalAlgorithm()
-    started = time.perf_counter()
+    started = stopwatch.read()
     try:
         optimal = optimal_alg.solve(requirement, overlay, source_instance=source)
     except FederationError:
         optimal = None
-    optimal_elapsed = time.perf_counter() - started
+    optimal_elapsed = stopwatch.read() - started
 
     sflow_alg = SFlowAlgorithm(
         SFlowConfig(horizon=horizon, pareto=pareto, use_link_state=use_link_state)
@@ -195,14 +198,14 @@ def run_trial(
         ("random", RandomAlgorithm()),
         ("service_path", service_path_alg),
     ):
-        started = time.perf_counter()
+        started = stopwatch.read()
         try:
             graph = algorithm.solve(
                 requirement, overlay, source_instance=source, rng=rng
             )
         except FederationError:
             graph = None
-        elapsed = time.perf_counter() - started
+        elapsed = stopwatch.read() - started
         messages = 0
         convergence = 0.0
         if name == "sflow" and sflow_alg.last_result is not None:

@@ -109,7 +109,7 @@ class UnderlayConfig:
 class Underlay:
     """An undirected weighted physical network over NIDs ``0..n-1``."""
 
-    def __init__(self, n: int):
+    def __init__(self, n: int) -> None:
         if n < 1:
             raise ValueError("underlay must have at least one node")
         self._n = n

@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Union
 
 from repro.obs import metrics, trace
+from repro.obs.clock import PERF_CLOCK, Lap, Stopwatch
 from repro.obs.metrics import (
     MetricsRegistry,
     diff_snapshots,
@@ -46,12 +47,15 @@ from repro.obs.recorder import Recorder, Recording, load_recording
 from repro.obs.trace import NULL_SPAN, SimClock, Span, Tracer, tracer
 
 __all__ = [
+    "Lap",
     "MetricsRegistry",
     "NULL_SPAN",
+    "PERF_CLOCK",
     "Recorder",
     "Recording",
     "SimClock",
     "Span",
+    "Stopwatch",
     "Tracer",
     "active_recorder",
     "diff_snapshots",

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import threading
 from bisect import bisect_left
-from typing import Dict, List, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 #: Canonical per-series key: sorted ``(label, value)`` pairs.
 LabelKey = Tuple[Tuple[str, str], ...]
@@ -215,7 +215,7 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._metrics: Dict[str, Metric] = {}
 
-    def _get_or_create(self, cls, name: str, *args) -> Metric:
+    def _get_or_create(self, cls: type, name: str, *args: Any) -> Metric:
         with self._lock:
             metric = self._metrics.get(name)
             if metric is None:

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import itertools
 import time
+from types import TracebackType
 from typing import Any, Dict, Optional
 
 __all__ = [
@@ -176,7 +177,12 @@ class Span:
     def __enter__(self) -> "Span":
         return self
 
-    def __exit__(self, exc_type, exc, _tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        _tb: Optional[TracebackType],
+    ) -> bool:
         if exc is not None:
             self.attrs.setdefault("error", repr(exc))
         self.end()

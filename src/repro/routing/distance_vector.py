@@ -28,7 +28,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.network.overlay import OverlayGraph, ServiceInstance
 from repro.sim.channels import Envelope, MessageNetwork
-from repro.sim.engine import Environment
+from repro.sim.engine import Environment, ProcessGenerator
 
 #: A node's advertised reachability: destination -> best bottleneck bandwidth.
 Vector = Dict[ServiceInstance, float]
@@ -86,7 +86,7 @@ class _DVNode:
                 size=len(self.vector),
             )
 
-    def run(self):
+    def run(self) -> ProcessGenerator:
         while True:
             envelope: Envelope = yield self.mailbox.get()
             self.heard[envelope.src] = envelope.payload

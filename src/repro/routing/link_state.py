@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.network.overlay import OverlayGraph, ServiceInstance, ServiceLink
 from repro.sim.channels import Envelope, MessageNetwork
-from repro.sim.engine import Environment
+from repro.sim.engine import Environment, ProcessGenerator
 
 
 @dataclass(frozen=True)
@@ -73,7 +73,7 @@ class _LinkStateNode:
         if horizon >= 1:
             self._flood(lsa, exclude=None)
 
-    def run(self):
+    def run(self) -> ProcessGenerator:
         """Simulation process: absorb LSAs, re-flood fresh ones while TTL lasts."""
         while True:
             envelope: Envelope = yield self.mailbox.get()

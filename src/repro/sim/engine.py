@@ -23,9 +23,20 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import traceback
 from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
 
 from repro.errors import SimulationError
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import SimClock, tracer as obs_tracer
+
+#: Process-generator exceptions converted into event failures (labelled by
+#: exception class).  Counting them keeps "a process died" observable even
+#: when every waiter handles the failure silently.
+_M_HANDLER_ERRORS = obs_metrics.registry().counter(
+    "engine.handler_error",
+    "process-step exceptions converted into event failures",
+)
 
 #: Generators driving a :class:`Process` yield events and receive their values.
 ProcessGenerator = Generator["Event", Any, Any]
@@ -203,6 +214,23 @@ class Process(Event):
                 "a normal exception"
             )
         except Exception as exc:
+            # The exception object keeps its __traceback__, so whoever
+            # waits on this process re-raises with the original frames;
+            # the counter + trace event make the failure visible even if
+            # nobody does.
+            _M_HANDLER_ERRORS.inc(kind=type(exc).__name__)
+            trace = obs_tracer()
+            if trace.enabled:
+                trace.event(
+                    "engine.handler_error",
+                    clock=SimClock(self.env),
+                    process=getattr(self._generator, "__name__", "process"),
+                    kind=type(exc).__name__,
+                    message=str(exc),
+                    traceback="".join(
+                        traceback.format_exception(type(exc), exc, exc.__traceback__)
+                    ),
+                )
             self.fail(exc)
             return
         if not isinstance(target, Event):

@@ -1,0 +1,974 @@
+"""``sflow-check``: the repo-specific static-analysis suite.
+
+This codebase carries three load-bearing invariants that ordinary linters
+cannot see:
+
+* **Determinism.**  DES runs must be bit-identical under parallel fan-out
+  (the serial/parallel evaluation split of ``repro.eval`` relies on it),
+  so protocol and evaluation code must never reach for ambient
+  randomness or wall clocks.
+* **Oracle discipline.**  Every routing-tree computation must flow
+  through the epoch-invalidated :class:`repro.routing.oracle.RouteOracle`
+  -- a direct ``shortest_widest_tree`` call silently reintroduces the
+  O(N^4) recomputation the perf tentpole removed, and a topology mutation
+  without an epoch bump silently serves stale trees.
+* **Telemetry hygiene.**  All metrics live in the namespaced registry of
+  :mod:`repro.obs.metrics`; dynamic or off-namespace names break the
+  snapshot/merge algebra the parallel sweeps depend on.
+
+``sflow-check`` walks Python sources, parses them once, and runs a
+registry of AST rules scoped by dotted module name.  It is pure stdlib --
+no third-party linter framework -- so it runs anywhere the repo does.
+
+Rule catalogue (see ``docs/static_analysis.md`` for the full rationale):
+
+=======  ==================================================================
+SFL000   suppression hygiene: ``# sflow: noqa[...]`` needs a justification
+SFL001   sim-time purity: no wall clocks inside ``repro.sim``/``repro.core``
+SFL002   determinism: no ambient randomness in sim/core/eval
+SFL003   oracle bypass: raw tree computations outside ``repro.routing``
+SFL004   epoch discipline: graph mutation without oracle invalidation
+SFL005   metrics hygiene: literal, namespaced metric names
+SFL006   swallowed exceptions: broad ``except`` without re-raise/telemetry
+SFL007   float ``==``: computed float equality in tests
+SFL008   mutable default arguments
+=======  ==================================================================
+
+Suppression: append ``# sflow: noqa[SFL00X] -- justification`` to the
+flagged line.  A suppression without a justification is itself a
+violation (SFL000), so every waiver in the tree documents *why*.
+
+Fixture files can pin the module identity the scoping logic sees with a
+``# sflow: module=repro.sim.something`` header comment -- that is how the
+seeded fixtures under ``tests/tools/fixtures/`` exercise package-scoped
+rules from outside the package.
+
+Exit codes: 0 clean, 1 violations found, 2 usage or parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from dataclasses import dataclass
+from decimal import Decimal, InvalidOperation
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Violation",
+    "Rule",
+    "FileContext",
+    "RULES",
+    "rule_codes",
+    "check_source",
+    "check_file",
+    "check_paths",
+    "main",
+]
+
+#: Paths matching any of these globs are skipped unless explicitly listed
+#: on the command line.  The seeded rule fixtures *demonstrate* violations
+#: and must not fail the repo-wide gate.
+DEFAULT_EXCLUDES: Tuple[str, ...] = ("*/fixtures/*", "*/.git/*", "*/__pycache__/*")
+
+_NOQA_RE = re.compile(
+    r"#\s*sflow:\s*noqa\[(?P<codes>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)\]"
+    r"(?P<rest>[^#]*)"
+)
+_MODULE_RE = re.compile(r"#\s*sflow:\s*module=(?P<module>[A-Za-z_][\w.]*)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule firing at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.code} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col + 1,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+class FileContext:
+    """Everything a rule needs about one parsed source file."""
+
+    def __init__(self, path: str, module: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.module = module
+        self.source = source
+        self.tree = tree
+        #: ``alias -> dotted module`` for ``import x [as y]``.
+        self.module_aliases: Dict[str, str] = {}
+        #: ``local name -> dotted origin`` for ``from m import n [as y]``.
+        self.imported_names: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.module_aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    self.imported_names[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def qualified_call_name(self, func: ast.expr) -> Optional[str]:
+        """Resolve a call target to a dotted name through the import maps.
+
+        ``time.perf_counter`` -> ``time.perf_counter`` (via ``import
+        time``), ``pc`` -> ``time.perf_counter`` (via ``from time import
+        perf_counter as pc``).  Returns ``None`` for calls on computed
+        expressions -- rules fall back to terminal-name matching there.
+        """
+        parts: List[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            base = node.id
+            if parts:
+                root = self.module_aliases.get(base)
+                if root is None:
+                    root = self.imported_names.get(base, base)
+                return ".".join([root] + list(reversed(parts)))
+            return self.imported_names.get(base, base)
+        return None
+
+    def in_package(self, *prefixes: str) -> bool:
+        return any(
+            self.module == p or self.module.startswith(p + ".") for p in prefixes
+        )
+
+
+class Rule:
+    """Base class: a stable code, a one-line summary, and a checker.
+
+    Subclasses override :meth:`applies_to` (module scoping) and
+    :meth:`check` (yield :class:`Violation`).  Register instances in
+    :data:`RULES`; ``docs/static_analysis.md`` documents how to add one.
+    """
+
+    code: str = "SFL???"
+    summary: str = ""
+
+    def applies_to(self, ctx: FileContext) -> bool:  # pragma: no cover - default
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Violation:
+        return Violation(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+        )
+
+
+# ---------------------------------------------------------------------------
+# SFL001 -- sim-time purity
+# ---------------------------------------------------------------------------
+
+#: Wall-clock reads that would leak host time into protocol/sim results.
+_WALL_CLOCK_CALLS: Set[str] = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+class SimTimePurity(Rule):
+    """No wall-clock reads inside ``repro.sim`` / ``repro.core``.
+
+    Simulated results must be functions of the DES clock and the inputs
+    alone.  Host timing belongs behind the injectable
+    :class:`repro.obs.clock.Stopwatch` (or the ``repro.obs`` timer
+    helpers), where tests can substitute a fake clock.
+    """
+
+    code = "SFL001"
+    summary = "wall-clock read in sim/protocol code; inject a repro.obs clock"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_package("repro.sim", "repro.core")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.qualified_call_name(node.func)
+            if name in _WALL_CLOCK_CALLS:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"wall-clock call {name}() in {ctx.module}; route timing "
+                    "through repro.obs.clock.Stopwatch (injectable) or a "
+                    "SimClock so results stay deterministic",
+                )
+
+
+# ---------------------------------------------------------------------------
+# SFL002 -- injected randomness
+# ---------------------------------------------------------------------------
+
+#: Module-level functions of :mod:`random` that draw from the shared,
+#: ambient Mersenne Twister.  (``random.Random`` with a seed is the
+#: sanctioned construction; ``SystemRandom`` is never acceptable in
+#: deterministic code.)
+_AMBIENT_RANDOM: Set[str] = {
+    "random.betavariate", "random.choice", "random.choices",
+    "random.expovariate", "random.gammavariate", "random.gauss",
+    "random.getrandbits", "random.lognormvariate", "random.normalvariate",
+    "random.paretovariate", "random.randbytes", "random.randint",
+    "random.random", "random.randrange", "random.sample", "random.seed",
+    "random.shuffle", "random.triangular", "random.uniform",
+    "random.vonmisesvariate", "random.weibullvariate",
+}
+
+
+class InjectedRandomness(Rule):
+    """RNGs in sim/core/eval must be seeded and injected.
+
+    Ambient ``random.*`` calls (and unseeded ``random.Random()``) tie
+    results to interpreter-global state, which breaks bit-identical
+    parallel fan-out: a forked worker would consume a different stream
+    than the serial loop.
+    """
+
+    code = "SFL002"
+    summary = "ambient or unseeded randomness in deterministic code"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_package("repro.sim", "repro.core", "repro.eval")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.qualified_call_name(node.func)
+            if name in _AMBIENT_RANDOM:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"ambient {name}() draws from interpreter-global state; "
+                    "accept a seeded random.Random and call its methods",
+                )
+            elif name == "random.SystemRandom":
+                yield self.violation(
+                    ctx,
+                    node,
+                    "random.SystemRandom is never reproducible; use a seeded "
+                    "random.Random",
+                )
+            elif name == "random.Random" and not node.args and not node.keywords:
+                yield self.violation(
+                    ctx,
+                    node,
+                    "unseeded random.Random() seeds from the OS; pass an "
+                    "explicit seed derived from the experiment config",
+                )
+
+
+# ---------------------------------------------------------------------------
+# SFL003 -- oracle bypass
+# ---------------------------------------------------------------------------
+
+_TREE_FUNCTIONS: Set[str] = {"shortest_widest_tree", "widest_shortest_tree"}
+
+
+class OracleBypass(Rule):
+    """Routing trees outside ``repro.routing`` must come from RouteOracle.
+
+    A direct tree computation skips the epoch-keyed cache -- it is both a
+    perf regression (the O(N^4) recomputation PR 2 removed) and a
+    correctness hazard: the caller sees a tree the invalidation protocol
+    does not know about.  Tests are exempt (the oracle-equivalence
+    property tests *must* call the raw functions).
+    """
+
+    code = "SFL003"
+    summary = "direct routing-tree computation bypasses RouteOracle"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_package("repro") and not ctx.in_package("repro.routing")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.qualified_call_name(node.func)
+            terminal = name.rsplit(".", 1)[-1] if name else None
+            if terminal is None and isinstance(node.func, ast.Attribute):
+                terminal = node.func.attr
+            if terminal in _TREE_FUNCTIONS:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"direct {terminal}() call outside repro.routing; go "
+                    "through RouteOracle.default().tree(...) so the result "
+                    "is cached and epoch-invalidated",
+                )
+
+
+# ---------------------------------------------------------------------------
+# SFL004 -- epoch discipline
+# ---------------------------------------------------------------------------
+
+_GRAPH_MUTATORS: Set[str] = {
+    "add_instance", "add_link", "remove_instance", "remove_link",
+}
+_INVALIDATORS: Set[str] = {"derive", "mutate", "invalidate"}
+#: Constructors whose results are *fresh* graphs: mutating a graph built
+#: inside the same function is initialisation, not topology mutation.
+_FRESH_GRAPH_CALLS: Set[str] = {
+    "OverlayGraph", "Underlay", "UnderlayGraph", "subgraph", "copy",
+}
+
+
+class EpochDiscipline(Rule):
+    """Overlay/underlay mutation needs a paired oracle invalidation.
+
+    Mutating a graph that existed before the function ran changes a
+    topology the :class:`RouteOracle` may hold cached trees for.  The
+    same function must therefore tell the oracle (``derive``/``mutate``/
+    ``invalidate``).  Graphs *constructed* in the function (``result =
+    OverlayGraph()``; ``sub = overlay.subgraph(...)``) are exempt while
+    being filled in -- they have no cached epoch yet.
+    """
+
+    code = "SFL004"
+    summary = "graph mutation without RouteOracle derive/mutate/invalidate"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_package("repro") and ctx.module not in (
+            "repro.network.overlay",
+            "repro.network.underlay",
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node)
+
+    def _check_function(
+        self, ctx: FileContext, fn: ast.AST
+    ) -> Iterator[Violation]:
+        fresh: Set[str] = set()
+        mutations: List[Tuple[ast.Call, str]] = []
+        invalidated = False
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                callee = node.value.func
+                callee_name = (
+                    callee.id if isinstance(callee, ast.Name)
+                    else callee.attr if isinstance(callee, ast.Attribute)
+                    else None
+                )
+                if callee_name in _FRESH_GRAPH_CALLS:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            fresh.add(target.id)
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr in _INVALIDATORS:
+                invalidated = True
+            if func.attr in _GRAPH_MUTATORS and isinstance(func.value, ast.Name):
+                mutations.append((node, func.value.id))
+        if invalidated:
+            return
+        for call, target in mutations:
+            if target in fresh:
+                continue
+            yield self.violation(
+                ctx,
+                call,
+                f"{target}.{call.func.attr}(...) mutates a pre-existing "
+                "graph without RouteOracle.derive/mutate/invalidate in the "
+                "same function; cached trees would silently go stale",
+            )
+
+
+# ---------------------------------------------------------------------------
+# SFL005 -- metrics hygiene
+# ---------------------------------------------------------------------------
+
+_METRIC_FACTORIES: Set[str] = {"counter", "gauge", "histogram"}
+#: Registered metric namespaces; ``docs/static_analysis.md`` is the
+#: authority for extending this list.
+METRIC_NAMESPACES: Tuple[str, ...] = (
+    "sflow.", "channel.", "monitor.", "dataflow.", "oracle.", "engine.",
+)
+
+
+class MetricsHygiene(Rule):
+    """Metric names must be string literals in a registered namespace.
+
+    The snapshot/merge algebra treats names as opaque stable keys; a
+    computed name defeats grep-ability and review, and an off-namespace
+    name escapes the dashboards and the trace CLI's summary tables.
+    """
+
+    code = "SFL005"
+    summary = "metric name not a literal in a registered namespace"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # The registry implementation itself re-creates metrics from
+        # snapshot data (dynamic by design).
+        return ctx.in_package("repro") and ctx.module != "repro.obs.metrics"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in _METRIC_FACTORIES:
+                continue
+            if not node.args:
+                continue
+            name_arg = node.args[0]
+            if not (
+                isinstance(name_arg, ast.Constant)
+                and isinstance(name_arg.value, str)
+            ):
+                yield self.violation(
+                    ctx,
+                    name_arg,
+                    f".{func.attr}(...) metric name must be a string literal "
+                    "(computed names break grep-ability and the snapshot "
+                    "algebra's stable keys)",
+                )
+                continue
+            if not name_arg.value.startswith(METRIC_NAMESPACES):
+                namespaces = "|".join(ns.rstrip(".") for ns in METRIC_NAMESPACES)
+                yield self.violation(
+                    ctx,
+                    name_arg,
+                    f"metric name {name_arg.value!r} is outside the "
+                    f"registered namespaces ({namespaces}); register the "
+                    "namespace in docs/static_analysis.md or rename",
+                )
+
+
+# ---------------------------------------------------------------------------
+# SFL006 -- swallowed exceptions
+# ---------------------------------------------------------------------------
+
+_BROAD_EXCEPTIONS: Set[str] = {"Exception", "BaseException"}
+#: Handler calls that count as structured handling: metric increments,
+#: histogram observations, trace events.
+_EMISSION_CALLS: Set[str] = {"inc", "observe", "event"}
+
+
+class SwallowedException(Rule):
+    """Broad ``except`` must re-raise or emit structured telemetry.
+
+    ``except Exception`` that neither re-raises nor records anything
+    turns every future bug into silence.  Acceptable handlers either
+    ``raise`` (possibly a wrapped error), or emit a metric/trace event so
+    the failure is visible in recordings and counters.
+    """
+
+    code = "SFL006"
+    summary = "broad except without re-raise or structured emission"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_package("repro")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node.type):
+                continue
+            if self._handles_structurally(node):
+                continue
+            caught = "bare except" if node.type is None else (
+                f"except {ast.unparse(node.type)}"
+                if hasattr(ast, "unparse")
+                else "broad except"
+            )
+            yield self.violation(
+                ctx,
+                node,
+                f"{caught} neither re-raises nor emits a metric/trace "
+                "event; narrow the exception type, re-raise, or record a "
+                "structured *.inc()/.observe()/.event() before continuing",
+            )
+
+    @staticmethod
+    def _is_broad(type_node: Optional[ast.expr]) -> bool:
+        if type_node is None:
+            return True
+        candidates: Iterable[ast.expr]
+        if isinstance(type_node, ast.Tuple):
+            candidates = type_node.elts
+        else:
+            candidates = (type_node,)
+        for candidate in candidates:
+            if isinstance(candidate, ast.Name) and candidate.id in _BROAD_EXCEPTIONS:
+                return True
+            if (
+                isinstance(candidate, ast.Attribute)
+                and candidate.attr in _BROAD_EXCEPTIONS
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _handles_structurally(handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _EMISSION_CALLS
+            ):
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# SFL007 -- float equality in tests
+# ---------------------------------------------------------------------------
+
+
+class FloatEquality(Rule):
+    """No ``==``/``!=`` on *computed* floats in tests.
+
+    Exact equality against a stored value is fine in a deterministic DES
+    (and the suite leans on it); equality against an arithmetic
+    expression (``x == 0.1 + 0.2``) or a decimal literal the binary
+    format cannot represent exactly (``x == 0.3``) is a rounding-error
+    time bomb.  Use ``pytest.approx`` or ``math.isclose``.
+    """
+
+    code = "SFL007"
+    summary = "computed-float equality in a test; use pytest.approx"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_package("tests")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            for operand in [node.left] + node.comparators:
+                problem = self._float_hazard(ctx, operand)
+                if problem:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"{problem}; compare with pytest.approx(...) or "
+                        "math.isclose(...) instead of ==",
+                    )
+                    break
+
+    def _float_hazard(self, ctx: FileContext, node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.BinOp) and self._contains_float_arith(node):
+            return "float arithmetic inside an equality comparison"
+        literal = self._float_literal(node)
+        if literal is not None and not self._exactly_representable(ctx, node, literal):
+            return (
+                f"float literal {literal!r} has no exact binary "
+                "representation, so computed values will miss it"
+            )
+        return None
+
+    @staticmethod
+    def _float_literal(node: ast.expr) -> Optional[float]:
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+            node = node.operand
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return node.value
+        return None
+
+    @classmethod
+    def _contains_float_arith(cls, node: ast.BinOp) -> bool:
+        has_float = False
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Div):
+                return True
+            if isinstance(sub, ast.Constant) and isinstance(sub.value, float):
+                has_float = True
+        return has_float
+
+    def _exactly_representable(
+        self, ctx: FileContext, node: ast.expr, value: float
+    ) -> bool:
+        segment = ast.get_source_segment(ctx.source, node)
+        if segment is None:
+            return True  # cannot see the literal text; give the benefit
+        text = segment.lstrip("+- \t")
+        try:
+            return Decimal(text) == Decimal(value)
+        except (InvalidOperation, ValueError):
+            return True
+
+
+# ---------------------------------------------------------------------------
+# SFL008 -- mutable default arguments
+# ---------------------------------------------------------------------------
+
+_MUTABLE_FACTORIES: Set[str] = {
+    "list", "dict", "set", "bytearray", "defaultdict", "OrderedDict", "deque",
+}
+
+
+class MutableDefault(Rule):
+    """No mutable default arguments, anywhere.
+
+    A ``def f(x=[])`` default is created once and shared across calls --
+    in a simulator that is cross-run state leakage, the exact class of
+    bug the determinism tests exist to catch.  Use ``None`` plus an
+    in-body default (or ``dataclasses.field(default_factory=...)``).
+    """
+
+    code = "SFL008"
+    summary = "mutable default argument"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            for default in list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]:
+                if self._is_mutable(default):
+                    yield self.violation(
+                        ctx,
+                        default,
+                        f"mutable default argument in {node.name}(); the "
+                        "object is shared across calls -- default to None "
+                        "and construct inside the body",
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.id if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute)
+                else None
+            )
+            return name in _MUTABLE_FACTORIES
+        return False
+
+
+# ---------------------------------------------------------------------------
+# registry / engine
+# ---------------------------------------------------------------------------
+
+RULES: Tuple[Rule, ...] = (
+    SimTimePurity(),
+    InjectedRandomness(),
+    OracleBypass(),
+    EpochDiscipline(),
+    MetricsHygiene(),
+    SwallowedException(),
+    FloatEquality(),
+    MutableDefault(),
+)
+
+
+def rule_codes() -> List[str]:
+    return [rule.code for rule in RULES]
+
+
+def _module_for(path: Path, source: str) -> str:
+    """Dotted module identity used for rule scoping.
+
+    A ``# sflow: module=...`` directive in the first ten lines wins;
+    otherwise the path is mapped (``src/repro/x/y.py`` -> ``repro.x.y``,
+    ``tests/a/b.py`` -> ``tests.a.b``), falling back to the stem.
+    """
+    for line in source.splitlines()[:10]:
+        match = _MODULE_RE.search(line)
+        if match:
+            return match.group("module")
+    parts = list(path.parts)
+    stem_parts: List[str] = []
+    for anchor in ("repro", "tests", "benchmarks"):
+        if anchor in parts:
+            idx = len(parts) - 1 - parts[::-1].index(anchor)
+            stem_parts = parts[idx:]
+            break
+    if not stem_parts:
+        stem_parts = [path.name]
+    stem_parts[-1] = Path(stem_parts[-1]).stem
+    if stem_parts[-1] == "__init__":
+        stem_parts.pop()
+    return ".".join(stem_parts)
+
+
+def _suppressions(
+    path: str, source: str
+) -> Tuple[Dict[int, Set[str]], List[Violation]]:
+    """Per-line suppressed codes plus SFL000 findings for bad suppressions."""
+    suppressed: Dict[int, Set[str]] = {}
+    findings: List[Violation] = []
+    known = set(rule_codes()) | {"SFL000"}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        codes = {c.strip() for c in match.group("codes").split(",")}
+        justification = match.group("rest").strip().lstrip("-—: ").strip()
+        suppressed[lineno] = codes
+        if not justification:
+            findings.append(
+                Violation(
+                    path=path,
+                    line=lineno,
+                    col=match.start(),
+                    code="SFL000",
+                    message=(
+                        "suppression without a justification; write "
+                        "'# sflow: noqa[CODE] -- why this is safe'"
+                    ),
+                )
+            )
+        for code in codes - known:
+            findings.append(
+                Violation(
+                    path=path,
+                    line=lineno,
+                    col=match.start(),
+                    code="SFL000",
+                    message=f"suppression names unknown rule {code}",
+                )
+            )
+    return suppressed, findings
+
+
+def check_source(
+    source: str,
+    *,
+    module: str,
+    path: str = "<string>",
+    select: Optional[Set[str]] = None,
+    ignore: Optional[Set[str]] = None,
+) -> List[Violation]:
+    """Run every applicable rule over one source text."""
+    tree = ast.parse(source, filename=path)
+    ctx = FileContext(path, module, source, tree)
+    suppressed, findings = _suppressions(path, source)
+    for rule in RULES:
+        if select is not None and rule.code not in select:
+            continue
+        if ignore is not None and rule.code in ignore:
+            continue
+        if not rule.applies_to(ctx):
+            continue
+        for violation in rule.check(ctx):
+            if violation.code in suppressed.get(violation.line, ()):
+                continue
+            findings.append(violation)
+    if select is not None:
+        findings = [f for f in findings if f.code in select or f.code == "SFL000"]
+    if ignore is not None:
+        findings = [f for f in findings if f.code not in ignore]
+    return sorted(findings, key=lambda v: (v.path, v.line, v.col, v.code))
+
+
+def check_file(
+    path: Path,
+    *,
+    select: Optional[Set[str]] = None,
+    ignore: Optional[Set[str]] = None,
+) -> List[Violation]:
+    source = path.read_text(encoding="utf-8")
+    module = _module_for(path, source)
+    return check_source(
+        source, module=module, path=str(path), select=select, ignore=ignore
+    )
+
+
+def _iter_python_files(
+    paths: Sequence[Path], excludes: Sequence[str]
+) -> Iterator[Path]:
+    def excluded(p: Path) -> bool:
+        posix = p.as_posix()
+        return any(fnmatch(posix, pattern) for pattern in excludes)
+
+    for path in paths:
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not excluded(sub):
+                    yield sub
+        elif path.suffix == ".py":
+            # Explicitly named files are checked even inside excluded dirs.
+            yield path
+
+
+def check_paths(
+    paths: Sequence[Path],
+    *,
+    select: Optional[Set[str]] = None,
+    ignore: Optional[Set[str]] = None,
+    excludes: Sequence[str] = DEFAULT_EXCLUDES,
+) -> Tuple[List[Violation], List[str]]:
+    """Check every ``*.py`` under ``paths``.
+
+    Returns ``(violations, parse_errors)``; parse errors are fatal for
+    the CLI (exit 2) because an unparseable file is unlintable.
+    """
+    violations: List[Violation] = []
+    errors: List[str] = []
+    for file_path in _iter_python_files(paths, excludes):
+        try:
+            violations.extend(
+                check_file(file_path, select=select, ignore=ignore)
+            )
+        except SyntaxError as exc:
+            errors.append(f"{file_path}:{exc.lineno or 0}: syntax error: {exc.msg}")
+    return violations, errors
+
+
+def _parse_codes(text: Optional[str]) -> Optional[Set[str]]:
+    if not text:
+        return None
+    codes = {c.strip().upper() for c in text.split(",") if c.strip()}
+    known = set(rule_codes()) | {"SFL000"}
+    unknown = codes - known
+    if unknown:
+        raise SystemExit(
+            f"sflow-check: unknown rule code(s): {', '.join(sorted(unknown))}"
+        )
+    return codes
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="sflow-check",
+        description=(
+            "Repo-specific static analysis: determinism, sim-time purity "
+            "and oracle/metrics discipline for the sFlow reproduction."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path, help="files or directories to check"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    parser.add_argument(
+        "--select", metavar="CODES", help="comma-separated codes to run exclusively"
+    )
+    parser.add_argument(
+        "--ignore", metavar="CODES", help="comma-separated codes to skip"
+    )
+    parser.add_argument(
+        "--exclude",
+        action="append",
+        default=None,
+        metavar="GLOB",
+        help=(
+            "glob of paths to skip (repeatable); defaults to "
+            + ", ".join(DEFAULT_EXCLUDES)
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print("SFL000 suppression hygiene: noqa needs a justification")
+        for rule in RULES:
+            print(f"{rule.code} {rule.summary}")
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("sflow-check: no paths given", file=sys.stderr)
+        return 2
+
+    missing = [p for p in args.paths if not p.exists()]
+    if missing:
+        for p in missing:
+            print(f"sflow-check: no such path: {p}", file=sys.stderr)
+        return 2
+
+    try:
+        select = _parse_codes(args.select)
+        ignore = _parse_codes(args.ignore)
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    excludes = tuple(args.exclude) if args.exclude else DEFAULT_EXCLUDES
+    violations, errors = check_paths(
+        args.paths, select=select, ignore=ignore, excludes=excludes
+    )
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "violations": [v.as_dict() for v in violations],
+                    "errors": errors,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for violation in violations:
+            print(violation.render())
+        for error in errors:
+            print(error, file=sys.stderr)
+        if violations:
+            counts: Dict[str, int] = {}
+            for violation in violations:
+                counts[violation.code] = counts.get(violation.code, 0) + 1
+            summary = ", ".join(f"{c} x{n}" for c, n in sorted(counts.items()))
+            print(f"found {len(violations)} violation(s): {summary}")
+
+    if errors:
+        return 2
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

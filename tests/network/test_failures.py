@@ -72,8 +72,8 @@ class TestDegradeLinks:
         )
         original = overlay.link(SRC, MID1).metrics
         degraded = after.link(SRC, MID1).metrics
-        assert degraded.bandwidth == original.bandwidth * 0.5
-        assert degraded.latency == original.latency * 2.0
+        assert degraded.bandwidth == pytest.approx(original.bandwidth * 0.5)
+        assert degraded.latency == pytest.approx(original.latency * 2.0)
 
     def test_other_links_untouched(self, overlay):
         after = degrade_links(overlay, [(SRC, MID1)], bandwidth_factor=0.1)

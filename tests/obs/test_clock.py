@@ -1,0 +1,89 @@
+"""Tests for the injectable host clock (:mod:`repro.obs.clock`).
+
+The point of the Stopwatch is that a scripted fake clock yields *exact*
+elapsed values -- no sleeping, no tolerance windows -- so these tests pin
+equality on the scripted numbers.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.obs import PERF_CLOCK, Lap, Stopwatch
+from repro.obs.clock import ClockFn
+
+
+class ScriptedClock:
+    """Returns pre-programmed readings in order; repeats the last one."""
+
+    def __init__(self, *readings: float) -> None:
+        self._readings = list(readings)
+
+    def __call__(self) -> float:
+        if len(self._readings) > 1:
+            return self._readings.pop(0)
+        return self._readings[0]
+
+
+def test_default_clock_is_perf_counter():
+    assert PERF_CLOCK is time.perf_counter
+    sw = Stopwatch()
+    a = sw.read()
+    b = sw.read()
+    assert b >= a  # monotonic
+
+
+def test_scripted_clock_gives_exact_intervals():
+    sw = Stopwatch(ScriptedClock(10.0, 12.5))
+    start = sw.read()
+    assert sw.read() - start == 2.5
+
+
+def test_measure_context_manager_freezes_seconds():
+    sw = Stopwatch(ScriptedClock(100.0, 103.0))
+    with sw.measure() as lap:
+        assert isinstance(lap, Lap)
+    assert lap.seconds == 3.0
+
+
+def test_measure_stops_even_when_the_block_raises():
+    sw = Stopwatch(ScriptedClock(0.0, 7.0))
+    try:
+        with sw.measure() as lap:
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert lap.seconds == 7.0
+
+
+def test_explicit_stop_returns_and_updates():
+    clock = ScriptedClock(1.0, 4.0, 9.0)
+    lap = Lap(clock)
+    assert lap.stop() == 3.0
+    # stop() is re-entrant: a later stop re-reads the clock.
+    assert lap.stop() == 8.0
+    assert lap.seconds == 8.0
+
+
+def test_stopwatch_accepts_any_zero_arg_callable():
+    rng = random.Random(7)
+    readings = sorted(rng.uniform(0, 100) for _ in range(2))
+    fake: ClockFn = ScriptedClock(*readings)
+    sw = Stopwatch(fake)
+    assert sw.read() == readings[0]
+    assert sw.read() == readings[1]
+
+
+def test_timed_solve_uses_injected_stopwatch(small_overlay, chain_requirement):
+    """End to end: a fake clock shows up as the reported elapsed time."""
+    from repro.core.baseline import BaselineAlgorithm
+    from repro.core.types import timed_solve
+
+    result = timed_solve(
+        BaselineAlgorithm(),
+        chain_requirement,
+        small_overlay,
+        stopwatch=Stopwatch(ScriptedClock(5.0, 5.25)),
+    )
+    assert result.elapsed_seconds == 0.25

@@ -1,0 +1,22 @@
+# sflow: module=repro.sim.fixture
+"""Seeded fixture: SFL001 fires on every flavour of wall-clock read."""
+
+import time
+from datetime import datetime
+from time import perf_counter as pc
+
+
+def bad_direct() -> float:
+    return time.perf_counter()  # SFL001
+
+
+def bad_aliased() -> float:
+    return pc()  # SFL001 (resolved through the import alias)
+
+
+def bad_datetime() -> object:
+    return datetime.now()  # SFL001
+
+
+def ok_sim_clock(env) -> float:
+    return env.now  # DES time is the sanctioned clock

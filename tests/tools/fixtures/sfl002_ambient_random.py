@@ -1,0 +1,21 @@
+# sflow: module=repro.eval.fixture
+"""Seeded fixture: SFL002 fires on ambient/unseeded randomness only."""
+
+import random
+
+
+def bad_ambient() -> float:
+    return random.random()  # SFL002
+
+
+def bad_unseeded() -> random.Random:
+    return random.Random()  # SFL002
+
+
+def bad_system() -> random.Random:
+    return random.SystemRandom()  # SFL002
+
+
+def ok_seeded(seed: int) -> float:
+    rng = random.Random(seed)
+    return rng.random()  # methods on an injected/seeded RNG are fine

@@ -1,0 +1,12 @@
+# sflow: module=repro.core.fixture
+"""Seeded fixture: SFL003 fires on raw tree computations outside repro.routing."""
+
+from repro.routing.wang_crowcroft import shortest_widest_tree
+
+
+def bad_direct(graph, root):
+    return shortest_widest_tree(graph, root)  # SFL003
+
+
+def ok_via_oracle(oracle, graph, root):
+    return oracle.tree(graph, root, "shortest_widest")

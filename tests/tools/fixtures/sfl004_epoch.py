@@ -1,0 +1,19 @@
+# sflow: module=repro.network.fixture
+"""Seeded fixture: SFL004 fires on unpaired mutation of a pre-existing graph."""
+
+from repro.network.overlay import OverlayGraph
+
+
+def bad_mutation(overlay, a, b, quality):
+    overlay.add_link(a, b, quality)  # SFL004: no oracle call in this function
+
+
+def ok_fresh_graph(a, b, quality):
+    built = OverlayGraph()
+    built.add_link(a, b, quality)  # fresh local graph: initialisation, not mutation
+    return built
+
+
+def ok_invalidated(oracle, overlay, a, b, quality):
+    overlay.add_link(a, b, quality)
+    oracle.invalidate(overlay)

@@ -1,0 +1,16 @@
+# sflow: module=repro.eval.fixture_metrics
+"""Seeded fixture: SFL005 fires on computed or off-namespace metric names."""
+
+from repro.obs import metrics
+
+
+def bad_computed(kind: str):
+    return metrics.registry().counter(f"sflow.{kind}.events")  # SFL005: not a literal
+
+
+def bad_namespace():
+    return metrics.registry().counter("experiments.runs")  # SFL005: unregistered namespace
+
+
+def ok_literal():
+    return metrics.registry().counter("sflow.fixture_ok", "demo counter")

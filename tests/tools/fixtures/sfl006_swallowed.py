@@ -1,0 +1,34 @@
+# sflow: module=repro.services.fixture
+"""Seeded fixture: SFL006 fires on broad excepts that swallow silently."""
+
+from repro.obs import metrics
+
+_M_FAILS = metrics.registry().counter("sflow.fixture_failures")
+
+
+def bad_silent(work):
+    try:
+        work()
+    except Exception:  # SFL006: swallowed
+        pass
+
+
+def bad_bare(work):
+    try:
+        work()
+    except:  # the bare form of the SFL006 demo
+        return None
+
+
+def ok_reraise(work):
+    try:
+        work()
+    except Exception as exc:
+        raise RuntimeError("work failed") from exc
+
+
+def ok_counted(work):
+    try:
+        work()
+    except Exception as exc:
+        _M_FAILS.inc(kind=type(exc).__name__)

@@ -1,0 +1,18 @@
+# sflow: module=tests.fixture_floats
+"""Seeded fixture: SFL007 fires on computed-float equality, not exact DES values."""
+
+
+def bad_arithmetic(x: float) -> bool:
+    return x == 0.1 + 0.2  # SFL007: float arithmetic in an equality
+
+
+def bad_unrepresentable(x: float) -> bool:
+    return x == 0.3  # SFL007: 0.3 has no exact binary representation
+
+
+def ok_exact(total: float) -> bool:
+    return total == 3.0  # exact value a deterministic DES can hit
+
+
+def ok_power_of_two(x: float) -> bool:
+    return x == 0.5  # exactly representable

@@ -1,0 +1,16 @@
+"""Seeded fixture: SFL008 fires everywhere, no module directive needed."""
+
+from typing import List, Optional
+
+
+def bad_list(items=[]):  # SFL008
+    items.append(1)
+    return items
+
+
+def bad_dict_call(mapping=dict()):  # SFL008
+    return mapping
+
+
+def ok_none(items: Optional[List[int]] = None) -> List[int]:
+    return [] if items is None else items

@@ -1,0 +1,17 @@
+# sflow: module=repro.sim.fixture_suppressed
+"""Seeded fixture: suppression hygiene (SFL000) and justified waivers."""
+
+import time
+
+
+def waived() -> float:
+    # A justified waiver: suppressed, and no SFL000.
+    return time.perf_counter()  # sflow: noqa[SFL001] -- fixture demonstrating a justified waiver
+
+
+def bare_waiver() -> float:
+    return time.perf_counter()  # sflow: noqa[SFL001]
+
+
+def unknown_code() -> None:
+    pass  # sflow: noqa[SFL999] -- no such rule
