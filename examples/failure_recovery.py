@@ -23,9 +23,14 @@ from repro import (
     ChaosPlan,
     CrashEvent,
     CrashSchedule,
+    MonitorConfig,
+    MonitoredFederation,
     ReductionSolver,
     SFlowAlgorithm,
     SFlowConfig,
+    SessionState,
+    degrade_links,
+    revive_links,
     travel_agency_scenario,
 )
 from repro.core.repair import diagnose, repair_flow_graph
@@ -133,6 +138,71 @@ def main() -> None:
               f"+{result.messages - undisturbed.messages} messages, "
               f"+{result.convergence_time - undisturbed.convergence_time:.2f} "
               f"virtual time")
+
+    # ------------------------------------------------------------------
+    # Gray failure: a partition degrades the committed session's links
+    # to a trickle, the session serves DEGRADED at its best achievable
+    # bandwidth, and when the partition heals the monitor's recovery
+    # probes walk it back to COMMITTED.
+    # ------------------------------------------------------------------
+    print("\n=== gray failure: partition degrades, heals, session recovers ===")
+    probe = MonitoredFederation(
+        scenario.requirement,
+        scenario.overlay,
+        source_instance=scenario.source_instance,
+    )
+    baseline = probe.graph.bottleneck_bandwidth()
+    fed = MonitoredFederation(
+        scenario.requirement,
+        scenario.overlay,
+        source_instance=scenario.source_instance,
+        config=MonitorConfig(
+            required_bandwidth=baseline * 0.8,
+            recovery_probes=2,
+            # Two repair charges: one for the partition (re-federates onto
+            # alternative links), one to re-find the healed originals.
+            max_repairs=2,
+            max_refederations=1,
+        ),
+    )
+    reference = fed.overlay
+    victims = [
+        (e.src, e.dst)
+        for e in fed.graph.edges()
+        if fed.overlay.link(e.src, e.dst) is not None
+    ]
+
+    def partition(overlay):
+        targets = [
+            (src, dst)
+            for src, dst in victims
+            if overlay.link(src, dst) is not None
+        ]
+        return degrade_links(overlay, targets, bandwidth_factor=0.01)
+
+    def heal(overlay):
+        targets = [
+            (src, dst)
+            for src, dst in victims
+            if overlay.link(src, dst) is not None
+        ]
+        return revive_links(overlay, reference, targets)
+
+    fed.schedule_mutation(12.0, partition, "partition squeezes session links")
+    fed.schedule_mutation(32.0, heal, "partition heals")
+    report = fed.run(until=60)
+    print(f"  required bandwidth  : {baseline * 0.8:.2f} "
+          f"(80% of baseline {baseline:.2f})")
+    for event in report.events:
+        print(f"    t={event.time:7.2f}  {event.kind:<16} {event.detail}")
+    for record in report.degradations:
+        print(f"  degradation record  : served "
+              f"{record.delivered_fraction * 100:.0f}% of requirement "
+              f"({record.reason})")
+    print(f"  final session state : {report.final_state.value}")
+    assert report.final_state is SessionState.COMMITTED, (
+        "expected the healed partition to restore the session"
+    )
 
 
 if __name__ == "__main__":

@@ -60,15 +60,30 @@ from repro.core.repair import RepairReport, diagnose, repair_flow_graph
 from repro.core.monitor import MonitorConfig, MonitorReport, MonitoredFederation
 from repro.core.multicast import ServiceTreeAlgorithm
 from repro.core.types import FederationAlgorithm, FederationResult, timed_solve
+from repro.core.degradation import DegradationRecord, SessionState
+from repro.core.detector import (
+    BreakerConfig,
+    CircuitBreaker,
+    DetectorConfig,
+    PhiAccrualDetector,
+    RetryPolicy,
+)
 from repro.network.failures import (
+    ChannelFault,
     ChaosPlan,
     CrashEvent,
     CrashSchedule,
     FailureInjector,
     FailurePlan,
+    GrayFaultPlan,
+    LinkDegradationRamp,
+    LinkFlap,
+    PartitionEvent,
+    StragglerNode,
     degrade_links,
     fail_instances,
     fail_links,
+    revive_links,
 )
 from repro.services.execution import StreamConfig, StreamReport, simulate_stream
 from repro.services.serialization import load_json, save_json
@@ -78,17 +93,30 @@ __version__ = "1.0.0"
 __all__ = [
     "AbstractGraph",
     "BaselineAlgorithm",
+    "BreakerConfig",
+    "ChannelFault",
     "ChaosPlan",
+    "CircuitBreaker",
     "CrashEvent",
     "CrashSchedule",
+    "DegradationRecord",
+    "DetectorConfig",
     "FailureInjector",
     "FailurePlan",
     "FederationOutcome",
+    "GrayFaultPlan",
+    "LinkDegradationRamp",
+    "LinkFlap",
+    "PartitionEvent",
+    "PhiAccrualDetector",
     "RecoveryEvent",
+    "RetryPolicy",
     "MonitorConfig",
     "MonitorReport",
     "MonitoredFederation",
     "ServiceTreeAlgorithm",
+    "SessionState",
+    "StragglerNode",
     "RepairReport",
     "StreamConfig",
     "StreamReport",
@@ -96,6 +124,7 @@ __all__ = [
     "diagnose",
     "fail_instances",
     "fail_links",
+    "revive_links",
     "load_json",
     "repair_flow_graph",
     "save_json",

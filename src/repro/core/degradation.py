@@ -1,0 +1,68 @@
+"""Shared graceful-degradation vocabulary.
+
+A session that can no longer meet its bandwidth requirement has three
+futures, tried in order by both the sFlow runtime
+(:mod:`repro.core.sflow`) and the QoS monitor (:mod:`repro.core.monitor`):
+
+1. **in-place repair** -- re-decide only the weak services against
+   alternative instances (:mod:`repro.core.repair`);
+2. **re-federation** -- restart the decision process from scratch,
+   rate-limited by a hysteresis window so a sagging overlay cannot cause
+   a flap storm;
+3. **serve degraded** -- keep the best achievable flow graph and record
+   the deficit explicitly instead of failing the session.
+
+:class:`SessionState` names the resulting lifecycle
+(``COMMITTED -> DEGRADED -> COMMITTED | FAILED``) and
+:class:`DegradationRecord` is the explicit deficit record carried by
+results and reports.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class SessionState(enum.Enum):
+    """Lifecycle of a served federation session.
+
+    ``COMMITTED``: the flow graph meets its bandwidth requirement.
+    ``DEGRADED``: the session is still served, at the best achievable
+    bandwidth, below requirement -- with an explicit
+    :class:`DegradationRecord`.  ``FAILED``: no flow graph can be served
+    at all.
+    """
+
+    COMMITTED = "committed"
+    DEGRADED = "degraded"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class DegradationRecord:
+    """One explicit below-requirement episode.
+
+    Attributes:
+        time: sim time the degradation was declared.
+        required_bandwidth: what the session is supposed to deliver.
+        achieved_bandwidth: what it actually delivers right now.
+        reason: why the runtime settled for less (repair infeasible,
+            re-federation budget exhausted, hysteresis window, ...).
+    """
+
+    time: float
+    required_bandwidth: float
+    achieved_bandwidth: float
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.required_bandwidth <= 0:
+            raise ValueError("required_bandwidth must be > 0")
+        if self.achieved_bandwidth < 0:
+            raise ValueError("achieved_bandwidth must be >= 0")
+
+    @property
+    def delivered_fraction(self) -> float:
+        """Achieved / required bandwidth, in [0, 1]."""
+        return min(1.0, self.achieved_bandwidth / self.required_bandwidth)

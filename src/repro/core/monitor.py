@@ -27,6 +27,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.core.degradation import DegradationRecord, SessionState
 from repro.core.reductions import ReductionSolver
 from repro.core.repair import repair_flow_graph
 from repro.errors import FederationError
@@ -54,11 +55,28 @@ class MonitorConfig:
         bandwidth_threshold: repair triggers when the observed bottleneck
             drops below this fraction of the post-(re)federation baseline.
         max_repairs: hard cap on repairs per run (guards runaway churn).
+        required_bandwidth: optional absolute end-to-end requirement.
+            When set, the monitor runs the explicit session state machine
+            (``COMMITTED -> DEGRADED -> COMMITTED | FAILED``): a probe
+            below the requirement degrades the session and climbs the
+            ladder (in-place repair, hysteresis-bounded re-federation,
+            keep serving degraded); ``None`` (default) preserves the
+            legacy relative-threshold repair loop bit for bit.
+        recovery_probes: consecutive healthy probes required before a
+            DEGRADED session is promoted back to COMMITTED (flap damping
+            on the recovery edge).
+        refederate_hysteresis: minimum virtual time between two
+            degradation-triggered full re-federations.
+        max_refederations: budget of full re-federations per run.
     """
 
     probe_interval: float = 5.0
     bandwidth_threshold: float = 0.7
     max_repairs: int = 10
+    required_bandwidth: Optional[float] = None
+    recovery_probes: int = 2
+    refederate_hysteresis: float = 30.0
+    max_refederations: int = 1
 
     def __post_init__(self) -> None:
         if self.probe_interval <= 0:
@@ -67,6 +85,14 @@ class MonitorConfig:
             raise ValueError("bandwidth_threshold must be in (0, 1]")
         if self.max_repairs < 0:
             raise ValueError("max_repairs must be >= 0")
+        if self.required_bandwidth is not None and self.required_bandwidth <= 0:
+            raise ValueError("required_bandwidth must be > 0 (or None)")
+        if self.recovery_probes < 1:
+            raise ValueError("recovery_probes must be >= 1")
+        if self.refederate_hysteresis < 0:
+            raise ValueError("refederate_hysteresis must be >= 0")
+        if self.max_refederations < 0:
+            raise ValueError("max_refederations must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -80,7 +106,9 @@ class MonitorEvent:
     """
 
     time: float
-    kind: str  # "probe" | "violation" | "repair" | "repair_failed" | "mutation"
+    #: "probe" | "violation" | "repair" | "repair_failed" | "mutation"
+    #: | "degrade" | "recover" | "refederate" | "failed"
+    kind: str
     bottleneck: float
     detail: str = ""
     seq: int = 0
@@ -98,6 +126,11 @@ class MonitorReport:
     events: List[MonitorEvent]
     final_graph: ServiceFlowGraph
     repairs: int
+    #: Session state machine outputs (requirement-bearing runs only;
+    #: legacy runs report COMMITTED with no degradations).
+    final_state: SessionState = SessionState.COMMITTED
+    degradations: Tuple[DegradationRecord, ...] = ()
+    refederations: int = 0
 
     def __post_init__(self) -> None:
         self.events = sorted(self.events, key=lambda e: (e.time, e.seq))
@@ -140,6 +173,16 @@ class MonitoredFederation:
         )
         self._baseline = self.graph.bottleneck_bandwidth()
         self._source = self.graph.instance_for(requirement.source)
+        #: Session state machine (active when required_bandwidth is set).
+        self._state = SessionState.COMMITTED
+        self._healthy_streak = 0
+        self._degradations: List[DegradationRecord] = []
+        self._refederations = 0
+        self._last_refederate = -math.inf
+        #: The overlay the ladder last tried a repair against -- a retry
+        #: on the *same* overlay object cannot find anything new, so the
+        #: repair rung re-arms only when a mutation swaps the overlay.
+        self._repair_tried_on: Optional[OverlayGraph] = None
 
     # -- dynamics -------------------------------------------------------------
 
@@ -209,11 +252,53 @@ class MonitoredFederation:
             return math.inf if not self.graph.edges() else 0.0
         return min(observations.values())
 
+    def _do_repair(self, observed: float, force: set) -> bool:
+        """One in-place repair attempt; True when the graph was replaced."""
+        try:
+            source = (
+                self._source if self._source in self._overlay else None
+            )
+            report = repair_flow_graph(
+                self.graph,
+                self._overlay,
+                source_instance=source,
+                solver=self.solver,
+                force_repair=force,
+            )
+        except FederationError as exc:
+            self._record("repair_failed", observed, str(exc))
+            return False
+        self.graph = report.graph
+        self._source = self.graph.instance_for(self.requirement.source)
+        self._baseline = self.graph.bottleneck_bandwidth()
+        self._repairs += 1
+        self._record(
+            "repair",
+            self._baseline,
+            f"re-decided {sorted(report.touched)}",
+        )
+        return True
+
+    def _weak_services(self, floor_of) -> set:
+        """Endpoints of degraded-but-working edges: the repair diagnosis
+        only sees *broken* edges, so these must be forced."""
+        force: set = set()
+        observations = self._probe_edges()
+        for edge in self.graph.edges():
+            seen = observations.get(edge.requirement_edge, 0.0)
+            if seen < floor_of(edge):
+                force.update(edge.requirement_edge)
+        force.discard(self.requirement.source)
+        return force
+
     def _monitor_process(self, until: float):
         while self.env.now < until:
             yield self.env.timeout(self.config.probe_interval)
             observed = self._probe()
             self._record("probe", observed)
+            if self.config.required_bandwidth is not None:
+                self._step_state(observed)
+                continue
             if observed >= self._baseline * self.config.bandwidth_threshold:
                 continue
             self._record(
@@ -224,39 +309,101 @@ class MonitoredFederation:
             )
             if self._repairs >= self.config.max_repairs:
                 continue
-            # Degraded-but-working edges will not show up as broken in the
-            # repair diagnosis; force their endpoints to be re-decided.
-            force: set = set()
-            observations = self._probe_edges()
-            for edge in self.graph.edges():
-                original = edge.quality.bandwidth
-                seen = observations.get(edge.requirement_edge, 0.0)
-                if seen < original * self.config.bandwidth_threshold:
-                    force.update(edge.requirement_edge)
-            force.discard(self.requirement.source)
+            self._do_repair(
+                observed,
+                self._weak_services(
+                    lambda edge: edge.quality.bandwidth
+                    * self.config.bandwidth_threshold
+                ),
+            )
+
+    # -- session state machine (requirement-bearing runs) ------------------------
+
+    def _step_state(self, observed: float) -> None:
+        """One probe's worth of the COMMITTED/DEGRADED/FAILED lifecycle.
+
+        Below-requirement probes degrade the session and climb the ladder:
+        in-place repair first, then a full re-federation (hysteresis- and
+        budget-bounded), else keep serving degraded.  Recovery back to
+        COMMITTED requires ``recovery_probes`` consecutive healthy probes,
+        so a flapping overlay cannot flap the session state.
+        """
+        required = self.config.required_bandwidth
+        if observed >= required:
+            if self._state is not SessionState.COMMITTED:
+                self._healthy_streak += 1
+                if self._healthy_streak >= self.config.recovery_probes:
+                    self._state = SessionState.COMMITTED
+                    self._record(
+                        "recover",
+                        observed,
+                        f"{self._healthy_streak} consecutive healthy probes "
+                        f">= {required:g}",
+                    )
+            return
+        self._healthy_streak = 0
+        if self._state is SessionState.COMMITTED:
+            self._state = SessionState.DEGRADED
+            self._degradations.append(
+                DegradationRecord(
+                    time=self.env.now,
+                    required_bandwidth=required,
+                    achieved_bandwidth=observed,
+                    reason="probe below requirement",
+                )
+            )
+            self._record("degrade", observed, f"below requirement {required:g}")
+        # Rung 1: in-place repair against alternative instances -- once
+        # per overlay version (retrying on an unchanged overlay cannot
+        # find anything new and would just burn the repair budget).
+        if (
+            self._repairs < self.config.max_repairs
+            and self._overlay is not self._repair_tried_on
+        ):
+            self._repair_tried_on = self._overlay
+            if self._do_repair(
+                observed, self._weak_services(lambda edge: required)
+            ):
+                if self._probe() >= required:
+                    return  # recovery_probes consecutive probes confirm
+        # Rung 2: full re-federation, hysteresis-damped and budget-bounded.
+        if (
+            self.env.now - self._last_refederate
+            >= self.config.refederate_hysteresis
+            and self._refederations < self.config.max_refederations
+        ):
+            self._last_refederate = self.env.now
             try:
                 source = (
                     self._source if self._source in self._overlay else None
                 )
-                report = repair_flow_graph(
-                    self.graph,
-                    self._overlay,
-                    source_instance=source,
-                    solver=self.solver,
-                    force_repair=force,
+                graph = self.solver.solve(
+                    self.requirement, self._overlay, source_instance=source
                 )
             except FederationError as exc:
-                self._record("repair_failed", observed, str(exc))
-                continue
-            self.graph = report.graph
-            self._source = self.graph.instance_for(self.requirement.source)
-            self._baseline = self.graph.bottleneck_bandwidth()
-            self._repairs += 1
-            self._record(
-                "repair",
-                self._baseline,
-                f"re-decided {sorted(report.touched)}",
-            )
+                self._record(
+                    "repair_failed", observed, f"re-federation infeasible: {exc}"
+                )
+            else:
+                self.graph = graph
+                self._source = graph.instance_for(self.requirement.source)
+                self._baseline = graph.bottleneck_bandwidth()
+                self._refederations += 1
+                self._record(
+                    "refederate",
+                    self._probe(),
+                    f"round {self._refederations}: full re-solve on the "
+                    "current overlay",
+                )
+            return
+        # Rung 3: keep serving at the best achievable bandwidth.  Only a
+        # session delivering *nothing* without repair left is FAILED.
+        if observed <= 0 and self._probe() <= 0:
+            if self._state is not SessionState.FAILED:
+                self._state = SessionState.FAILED
+                self._record(
+                    "failed", 0.0, "no bandwidth deliverable on any edge"
+                )
 
     # -- driving -----------------------------------------------------------------
 
@@ -282,4 +429,7 @@ class MonitoredFederation:
             events=list(self._events),
             final_graph=self.graph,
             repairs=self._repairs,
+            final_state=self._state,
+            degradations=tuple(self._degradations),
+            refederations=self._refederations,
         )

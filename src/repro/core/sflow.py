@@ -82,7 +82,16 @@ from repro.routing.oracle import RouteOracle
 from repro.services.abstract_graph import AbstractGraph
 from repro.services.flowgraph import FlowEdge, ServiceFlowGraph
 from repro.services.requirement import ServiceRequirement, Sid
+from repro.core.degradation import DegradationRecord, SessionState
+from repro.core.detector import (
+    BreakerConfig,
+    CircuitBreaker,
+    DetectorConfig,
+    PhiAccrualDetector,
+    RetryPolicy,
+)
 from repro.core.reductions import AbstractView, ReductionSolver
+from repro.core.repair import repair_flow_graph
 from repro.sim.channels import Envelope, MessageNetwork
 from repro.sim.engine import Environment, Event
 
@@ -116,6 +125,22 @@ _H_FEDERATION_TIME = _REGISTRY.histogram(
 _H_RECOVERY_TIME = _REGISTRY.histogram(
     "sflow.recovery.sim_time",
     "first recovery event to completion (virtual time), disturbed runs only",
+)
+_M_DEGRADE_DETECTED = _REGISTRY.counter(
+    "degrade.detected", "completions that fell below the bandwidth requirement"
+)
+_M_DEGRADE_REPAIRS = _REGISTRY.counter(
+    "degrade.repairs", "in-place repairs attempted on degraded sessions"
+)
+_M_DEGRADE_SESSIONS = _REGISTRY.counter(
+    "degrade.sessions", "sessions served below requirement (explicit record)"
+)
+_M_DEGRADE_RECOVERED = _REGISTRY.counter(
+    "degrade.recovered", "degraded sessions restored to full bandwidth"
+)
+_H_DELIVERED_FRACTION = _REGISTRY.histogram(
+    "degrade.delivered_fraction",
+    "achieved / required bandwidth at completion (requirement-bearing runs)",
 )
 
 
@@ -157,9 +182,17 @@ class Ack:
 
 
 class FederationOutcome(enum.Enum):
-    """How a federation run ended."""
+    """How a federation run ended.
+
+    ``COMMITTED`` is an alias of ``SUCCEEDED``: a session that meets its
+    requirement is committed.  ``DEGRADED`` sessions are *served* -- they
+    carry a flow graph -- but below their bandwidth requirement, with an
+    explicit :class:`~repro.core.degradation.DegradationRecord`.
+    """
 
     SUCCEEDED = "succeeded"
+    COMMITTED = "succeeded"
+    DEGRADED = "degraded"
     FAILED = "failed"
 
 
@@ -168,13 +201,17 @@ class RecoveryEvent:
     """One structured entry of a run's recovery log.
 
     ``kind`` is one of: ``crash``, ``revival``, ``retry_exhausted``,
-    ``failover``, ``abandon``, ``refederate``, ``deadline_expired``,
-    ``failed``.
+    ``suspect``, ``unsuspect``, ``quarantine``, ``failover``, ``abandon``,
+    ``refederate``, ``deadline_expired``, ``degrade_detected``,
+    ``degrade_repair``, ``degraded``, ``recovered``, ``failed``.
+    ``instance`` names the affected instance when the event concerns one
+    (detection-latency accounting keys on it).
     """
 
     time: float
     kind: str
     detail: str
+    instance: str = ""
 
 
 @dataclass
@@ -222,6 +259,25 @@ class SFlowConfig:
             ``max_refederations`` is exhausted.
         max_refederations: how many times the consumer may restart the
             protocol for the residual requirement (``k`` in the docs).
+        required_bandwidth: optional end-to-end bandwidth requirement.
+            When set, a completing run evaluates its delivered bandwidth
+            (flow-graph bottleneck, gray degradation ramps applied) and,
+            when short, climbs the degradation ladder -- in-place repair,
+            hysteresis-bounded re-federation, serve DEGRADED -- instead of
+            silently committing a starved graph.  ``None`` (default)
+            preserves the legacy behaviour bit for bit.
+        refederate_hysteresis: minimum virtual time between two
+            degradation-triggered re-federations (flap-storm damping).
+        detector: optional phi-accrual detector config; when set, every
+            message arrival feeds per-peer inter-arrival histories and a
+            periodic sweep suspects silent peers *before* retry exhaustion
+            does.
+        breaker: optional circuit-breaker config; when set, peers that
+            exhaust their retries are quarantined and later sends fail
+            over immediately instead of burning a full retry cycle.
+        retry_policy: optional bounded retry budget with exponential
+            backoff + jitter, replacing the fixed
+            ``retransmit_timeout`` x ``max_retries`` schedule.
     """
 
     horizon: int = 2
@@ -239,6 +295,11 @@ class SFlowConfig:
     failover_backoff: float = 10.0
     deadline: Optional[float] = None
     max_refederations: int = 2
+    required_bandwidth: Optional[float] = None
+    refederate_hysteresis: float = 50.0
+    detector: Optional[DetectorConfig] = None
+    breaker: Optional[BreakerConfig] = None
+    retry_policy: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
         if self.horizon < 0:
@@ -257,6 +318,10 @@ class SFlowConfig:
             raise ValueError("deadline must be > 0 (or None)")
         if self.max_refederations < 0:
             raise ValueError("max_refederations must be >= 0")
+        if self.required_bandwidth is not None and self.required_bandwidth <= 0:
+            raise ValueError("required_bandwidth must be > 0 (or None)")
+        if self.refederate_hysteresis < 0:
+            raise ValueError("refederate_hysteresis must be >= 0")
 
 
 @dataclass
@@ -267,6 +332,10 @@ class SFlowResult:
     :attr:`FederationOutcome.FAILED`; ``failure_reason`` then says why and
     ``recovery_log`` records every step the runtime took trying to save the
     run (crashes observed, failovers, re-federations, abandonments).
+    A :attr:`FederationOutcome.DEGRADED` run *does* carry a flow graph --
+    served at the best achievable bandwidth -- plus the explicit
+    :class:`~repro.core.degradation.DegradationRecord` saying how far
+    short it falls.
     """
 
     flow_graph: Optional[ServiceFlowGraph]
@@ -288,10 +357,23 @@ class SFlowResult:
     crashes: int = 0
     failovers: int = 0
     refederations: int = 0
+    #: Graceful-degradation accounting (None/empty on requirement-free runs).
+    degradation: Optional[DegradationRecord] = None
+    achieved_bandwidth: Optional[float] = None
+    suspected: Tuple[str, ...] = ()
 
     @property
     def succeeded(self) -> bool:
         return self.outcome is FederationOutcome.SUCCEEDED
+
+    @property
+    def session_state(self) -> SessionState:
+        """The run's lifecycle state (served runs are COMMITTED/DEGRADED)."""
+        if self.outcome is FederationOutcome.FAILED:
+            return SessionState.FAILED
+        if self.outcome is FederationOutcome.DEGRADED:
+            return SessionState.DEGRADED
+        return SessionState.COMMITTED
 
 
 class _PlanningView(AbstractView):
@@ -404,6 +486,7 @@ class _SFlowNode:
         while True:
             envelope: Envelope = yield self.mailbox.get()
             payload = envelope.payload
+            self.fed.observe_peer(envelope.src)
             if isinstance(payload, Ack):
                 self.fed.acknowledge(payload.msg_id)
                 continue
@@ -569,6 +652,16 @@ class _Federation:
         self.chaos = chaos if chaos is not None and chaos.active else None
         if self.chaos is not None:
             self.chaos.schedule.validate_against(overlay)
+        #: The gray-failure plan (lossy/duplicating/reordering channels,
+        #: stragglers, flaps, partitions, bandwidth ramps), when active.
+        self.gray = None
+        if (
+            self.chaos is not None
+            and self.chaos.gray is not None
+            and self.chaos.gray.active
+        ):
+            self.gray = self.chaos.gray
+            self.gray.validate_against(overlay)
         #: Reliable (acknowledged) transport is needed whenever messages can
         #: vanish -- seeded loss or a chaos plan that crashes nodes.
         self.reliable = config.loss_rate > 0 or self.chaos is not None
@@ -592,6 +685,26 @@ class _Federation:
                 return jitter_rng.uniform(0.0, jitter)
 
         self.network = MessageNetwork(self.env, loss_fn=loss_fn, jitter_fn=jitter_fn)
+        if self.gray is not None:
+            self.network.install_gray(self.gray.channel_model())
+        #: Adaptive failure detection (all optional; ``None`` leaves the
+        #: legacy retry-exhaustion-only path bit-identical).
+        self.detector = (
+            PhiAccrualDetector(config.detector)
+            if config.detector is not None
+            else None
+        )
+        self.breaker = (
+            CircuitBreaker(config.breaker) if config.breaker is not None else None
+        )
+        self._retry_rng = (
+            random.Random(config.loss_seed ^ 0x5F3759DF)
+            if config.retry_policy is not None
+            else None
+        )
+        #: Peers suspected by the phi detector alone (cleared on the next
+        #: heartbeat -- unlike retry-exhaustion suspects, which stay).
+        self._phi_suspects: Set[ServiceInstance] = set()
         self._msg_ids = 0
         self._pending_acks: Dict[int, Event] = {}
         self.retransmissions = 0
@@ -648,6 +761,15 @@ class _Federation:
         self.failed = False
         self.failure_reason = ""
         self.recovery_log: List[RecoveryEvent] = []
+        #: Graceful-degradation ladder state (requirement-bearing runs).
+        self.degradation: Optional[DegradationRecord] = None
+        self.achieved_bandwidth: Optional[float] = None
+        self._final_graph: Optional[ServiceFlowGraph] = None
+        self._best_graph: Optional[ServiceFlowGraph] = None
+        self._best_bandwidth = 0.0
+        self._degrade_seen = False
+        self._repair_used = False
+        self._last_refederate_at = -float("inf")
         self.done: Event = self.env.event()
 
     def _lose(self, src, dst, envelope) -> bool:
@@ -697,10 +819,50 @@ class _Federation:
 
     # -- recovery bookkeeping ----------------------------------------------------
 
-    def _log(self, kind: str, detail: str) -> None:
-        self.recovery_log.append(RecoveryEvent(self.env.now, kind, detail))
+    def _log(self, kind: str, detail: str, *, instance: str = "") -> None:
+        self.recovery_log.append(
+            RecoveryEvent(self.env.now, kind, detail, instance)
+        )
         _M_RECOVERY.inc(kind=kind)
         self._span.event("recovery." + kind, detail=detail)
+
+    def observe_peer(self, peer) -> None:
+        """Feed the adaptive detector: every received envelope (sfederate
+        or ack) is a liveness proof of its sender."""
+        if self.detector is None or not isinstance(peer, ServiceInstance):
+            return
+        self.detector.heartbeat(peer, self.env.now)
+        if peer in self._phi_suspects:
+            # The phi detector was wrong (straggler, healed partition):
+            # take the suspicion back so failover planning sees the peer.
+            self._phi_suspects.discard(peer)
+            self.suspected.discard(peer)
+            self._log(
+                "unsuspect",
+                f"{peer} heartbeated again; phi suspicion withdrawn",
+                instance=str(peer),
+            )
+
+    def _detector_sweep(self):
+        """Periodic phi evaluation over every tracked peer: silence beyond
+        the adaptive threshold turns into a suspicion *before* any retry
+        budget runs out."""
+        interval = self.config.detector.bootstrap_interval
+        while True:
+            yield self.env.timeout(interval)
+            if self.done.triggered:
+                return
+            for peer, phi in self.detector.poll(self.env.now):
+                if peer in self.suspected or peer == self.source_instance:
+                    continue
+                self.suspected.add(peer)
+                self._phi_suspects.add(peer)
+                _M_SUSPECTS.inc()
+                self._log(
+                    "suspect",
+                    f"phi-accrual suspects {peer} (phi={phi:.2f})",
+                    instance=str(peer),
+                )
 
     def _fail_run(self, reason: str, *, force: bool = False) -> None:
         """End the run as FAILED -- structured, never by raising."""
@@ -757,6 +919,11 @@ class _Federation:
     def _revive(self, instance: ServiceInstance) -> None:
         self.network.revive(instance)
         self.suspected.discard(instance)
+        self._phi_suspects.discard(instance)
+        if self.detector is not None:
+            # Pre-crash inter-arrival history would insta-suspect the fresh
+            # incarnation; let it bootstrap cleanly.
+            self.detector.forget(instance)
         # A revival is additive (paths through the instance become viable
         # again), so the affected views cold-start their tree caches.
         oracle = RouteOracle.default()
@@ -798,16 +965,32 @@ class _Federation:
         ack_event: Event,
     ):
         """Acknowledged transmission; returns True when acked, False when
-        all ``max_retries`` retransmissions went unanswered.  Never raises:
-        retry exhaustion is the *caller's* signal to start failing over."""
-        for attempt in range(self.config.max_retries + 1):
+        the retry budget went unanswered.  Never raises: retry exhaustion
+        is the *caller's* signal to start failing over.
+
+        The budget is the fixed ``max_retries`` x ``retransmit_timeout``
+        schedule by default; an :class:`~repro.core.detector.RetryPolicy`
+        replaces it with a bounded attempt count and exponential backoff +
+        seeded jitter."""
+        policy = self.config.retry_policy
+        attempts = (
+            policy.max_attempts
+            if policy is not None
+            else self.config.max_retries + 1
+        )
+        for attempt in range(attempts):
             self.network.send(
                 src, dst, message, latency=latency, size=message.size
             )
             if attempt > 0:
                 self.retransmissions += 1
                 _M_RETRANSMISSIONS.inc()
-            timeout = self.env.timeout(self.config.retransmit_timeout)
+            wait = (
+                policy.delay(attempt, self._retry_rng)
+                if policy is not None
+                else self.config.retransmit_timeout
+            )
+            timeout = self.env.timeout(wait)
             yield self.env.any_of([ack_event, timeout])
             if ack_event.processed:
                 return True
@@ -831,21 +1014,57 @@ class _Federation:
         target, msg, lat = dst, message, latency
         round_index = 0
         while True:
-            ack_event = self.env.event()
-            self._pending_acks[msg.msg_id] = ack_event
-            acked = yield from self._reliable_send(src, target, msg, lat, ack_event)
-            if acked:
-                return
-            self._pending_acks.pop(msg.msg_id, None)
+            quarantined = (
+                self.breaker is not None
+                and not self.breaker.allows(target, self.env.now)
+            )
+            if quarantined:
+                # The circuit is open: the target already burned through a
+                # retry cycle recently.  Fail over immediately instead of
+                # spending another full budget on a suspect peer.
+                self._log(
+                    "quarantine",
+                    f"{target} is quarantined; sfederate {msg.msg_id} from "
+                    f"{src} fails over without retrying",
+                    instance=str(target),
+                )
+            else:
+                ack_event = self.env.event()
+                self._pending_acks[msg.msg_id] = ack_event
+                acked = yield from self._reliable_send(
+                    src, target, msg, lat, ack_event
+                )
+                if acked:
+                    if self.breaker is not None:
+                        self.breaker.record_success(target, self.env.now)
+                    return
+                self._pending_acks.pop(msg.msg_id, None)
             if self.done.triggered or msg.generation < self.generation:
                 return  # run settled or superseded by a re-federation
-            self.suspected.add(target)
-            _M_SUSPECTS.inc()
-            self._log(
-                "retry_exhausted",
-                f"{target} never acked sfederate {msg.msg_id} from {src} "
-                f"({self.config.max_retries + 1} transmissions)",
-            )
+            if not quarantined:
+                attempts = (
+                    self.config.retry_policy.max_attempts
+                    if self.config.retry_policy is not None
+                    else self.config.max_retries + 1
+                )
+                self.suspected.add(target)
+                self._phi_suspects.discard(target)
+                _M_SUSPECTS.inc()
+                self._log(
+                    "retry_exhausted",
+                    f"{target} never acked sfederate {msg.msg_id} from {src} "
+                    f"({attempts} transmissions)",
+                    instance=str(target),
+                )
+                if self.breaker is not None and self.breaker.record_failure(
+                    target, self.env.now
+                ):
+                    self._log(
+                        "quarantine",
+                        f"circuit opened for {target} after consecutive "
+                        "retry exhaustions",
+                        instance=str(target),
+                    )
             if not self.config.failover:
                 self._fail_run(
                     f"sfederate {msg.msg_id} from {src} to {target} lost "
@@ -1079,7 +1298,185 @@ class _Federation:
         if len(self._sink_parts) == len(self.requirement.sinks) and not (
             self.done.triggered
         ):
+            if self.config.required_bandwidth is None:
+                self.done.succeed()
+                return
+            self._evaluate_completion()
+
+    # -- graceful degradation (requirement-bearing runs) -------------------------
+
+    def _delivered_bandwidth(self, graph: Optional[ServiceFlowGraph]) -> float:
+        """Bottleneck bandwidth the graph delivers *right now*: committed
+        edge qualities scaled by any active gray degradation ramps along
+        each edge's realised overlay path."""
+        if graph is None:
+            return 0.0
+        bottleneck = float("inf")
+        for edge in graph.edges():
+            bandwidth = edge.quality.bandwidth
+            if not edge.quality.reachable:
+                return 0.0
+            if self.gray is not None:
+                hops = (
+                    list(zip(edge.overlay_path, edge.overlay_path[1:]))
+                    if len(edge.overlay_path) >= 2
+                    else [(edge.src, edge.dst)]
+                )
+                for hop_src, hop_dst in hops:
+                    bandwidth *= self.gray.bandwidth_factor(
+                        hop_src, hop_dst, self.env.now
+                    )
+            bottleneck = min(bottleneck, bandwidth)
+        return 0.0 if bottleneck == float("inf") else bottleneck
+
+    def _attempt_repair(
+        self, graph: ServiceFlowGraph, required: float
+    ) -> Optional[ServiceFlowGraph]:
+        """Rung 1 of the ladder: re-decide only the weak services against
+        alternative instances, suspects excluded, survivors pinned."""
+        overlay = self.overlay
+        if self.suspected:
+            live = [
+                inst
+                for inst in overlay.instances()
+                if inst not in self.suspected
+            ]
+            if self.source_instance in live:
+                overlay = overlay.subgraph(live)
+        weak: Set[Sid] = set()
+        for edge in graph.edges():
+            bandwidth = edge.quality.bandwidth
+            if self.gray is not None:
+                hops = (
+                    list(zip(edge.overlay_path, edge.overlay_path[1:]))
+                    if len(edge.overlay_path) >= 2
+                    else [(edge.src, edge.dst)]
+                )
+                for hop_src, hop_dst in hops:
+                    bandwidth *= self.gray.bandwidth_factor(
+                        hop_src, hop_dst, self.env.now
+                    )
+            if bandwidth < required:
+                weak.add(edge.src.sid)
+                weak.add(edge.dst.sid)
+        weak.discard(self.requirement.source)
+        started = self.stopwatch.read()
+        try:
+            report = repair_flow_graph(
+                graph,
+                overlay,
+                source_instance=self.source_instance,
+                solver=ReductionSolver(
+                    pareto=self.config.pareto,
+                    enumeration_limit=self.config.enumeration_limit,
+                ),
+                force_repair=weak,
+            )
+        except FederationError:
+            return None
+        finally:
+            self.record_compute(self.source_instance, self.stopwatch.read() - started)
+        return report.graph
+
+    def _evaluate_completion(self) -> None:
+        """The degradation ladder, run at every tentative completion:
+        commit when the requirement is met, otherwise repair in place,
+        then re-federate (hysteresis-bounded), then serve DEGRADED."""
+        if self.done.triggered:
+            return
+        required = self.config.required_bandwidth
+        try:
+            graph: Optional[ServiceFlowGraph] = self._assemble()
+        except FederationError:
+            graph = None
+        achieved = self._delivered_bandwidth(graph)
+        if graph is not None and achieved > self._best_bandwidth:
+            self._best_graph, self._best_bandwidth = graph, achieved
+        if graph is not None and achieved >= required:
+            if self._degrade_seen:
+                _M_DEGRADE_RECOVERED.inc()
+                self._log(
+                    "recovered",
+                    f"re-federation restored bandwidth to {achieved:g} "
+                    f">= {required:g}",
+                )
+            self._final_graph = graph
+            self.achieved_bandwidth = achieved
             self.done.succeed()
+            return
+        self._degrade_seen = True
+        _M_DEGRADE_DETECTED.inc()
+        self._log(
+            "degrade_detected",
+            f"flow graph delivers {achieved:g} < required {required:g}",
+        )
+        # Rung 1: in-place repair against alternative instances (once).
+        if graph is not None and not self._repair_used:
+            self._repair_used = True
+            _M_DEGRADE_REPAIRS.inc()
+            repaired = self._attempt_repair(graph, required)
+            if repaired is not None:
+                repaired_achieved = self._delivered_bandwidth(repaired)
+                self._log(
+                    "degrade_repair",
+                    f"in-place repair delivers {repaired_achieved:g} "
+                    f"(was {achieved:g})",
+                )
+                if repaired_achieved > achieved:
+                    graph, achieved = repaired, repaired_achieved
+                    if achieved > self._best_bandwidth:
+                        self._best_graph, self._best_bandwidth = graph, achieved
+                if repaired_achieved >= required:
+                    _M_DEGRADE_RECOVERED.inc()
+                    self._log(
+                        "recovered",
+                        f"repair restored bandwidth to {repaired_achieved:g} "
+                        f">= {required:g}",
+                    )
+                    self._final_graph = graph
+                    self.achieved_bandwidth = achieved
+                    self.done.succeed()
+                    return
+        # Rung 2: re-federate -- bounded, and hysteresis-damped so a
+        # sagging overlay cannot trigger a flap storm of restarts.
+        elapsed = self.env.now - self._last_refederate_at
+        if (
+            elapsed >= self.config.refederate_hysteresis
+            and self.refederations < self.config.max_refederations
+        ):
+            self._last_refederate_at = self.env.now
+            if self._try_refederate(
+                f"delivered bandwidth {achieved:g} below requirement {required:g}"
+            ):
+                return  # a fresh round is in flight; its sinks re-evaluate
+            if self.done.triggered:
+                return  # the attempt was unrecoverable; the run is FAILED
+        # Rung 3: serve at the best achievable bandwidth, explicitly.
+        graph, achieved = self._best_graph, self._best_bandwidth
+        if graph is None:
+            self._fail_run(
+                "degraded completion yielded no assemblable flow graph"
+            )
+            return
+        self.degradation = DegradationRecord(
+            time=self.env.now,
+            required_bandwidth=required,
+            achieved_bandwidth=achieved,
+            reason=(
+                "re-federation hysteresis window open"
+                if elapsed < self.config.refederate_hysteresis
+                else "re-federation budget exhausted"
+            ),
+        )
+        _M_DEGRADE_SESSIONS.inc()
+        self._log(
+            "degraded",
+            f"serving at {achieved:g}/{required:g} "
+            f"({self.degradation.reason})",
+        )
+        self._final_graph = graph
+        self.achieved_bandwidth = achieved
+        self.done.succeed()
 
     # -- driving -----------------------------------------------------------------
 
@@ -1108,6 +1505,8 @@ class _Federation:
                 self.env.process(self._chaos_driver(event))
         if self.config.deadline is not None:
             self.env.process(self._watchdog())
+        if self.detector is not None:
+            self.env.process(self._detector_sweep())
         initial = SFederate(
             residual=self.requirement,
             pins=((self.requirement.source, self.source_instance),),
@@ -1135,24 +1534,37 @@ class _Federation:
             self._fail_run(f"protocol starved: {exc}", force=True)
         negotiate.end(generations=self.generation + 1)
         graph: Optional[ServiceFlowGraph] = None
-        if not self.failed:
+        if self.config.required_bandwidth is not None:
+            # The degradation ladder assembled (and possibly repaired) the
+            # graph in-run; a failed run left it None.
+            graph = self._final_graph if not self.failed else None
+        elif not self.failed:
             try:
                 graph = self._assemble()
             except FederationError as exc:
                 self._fail_run(f"assembly failed: {exc}", force=True)
-        outcome = (
-            FederationOutcome.SUCCEEDED
-            if graph is not None
-            else FederationOutcome.FAILED
-        )
-        _M_SESSIONS.inc(outcome=outcome.name.lower())
+        if graph is None:
+            outcome = FederationOutcome.FAILED
+        elif self.degradation is not None:
+            outcome = FederationOutcome.DEGRADED
+        else:
+            outcome = FederationOutcome.SUCCEEDED
+        _M_SESSIONS.inc(outcome=outcome.value)
         _H_FEDERATION_TIME.observe(self.env.now)
+        if self.config.required_bandwidth is not None and graph is not None:
+            _H_DELIVERED_FRACTION.observe(
+                min(
+                    1.0,
+                    (self.achieved_bandwidth or 0.0)
+                    / self.config.required_bandwidth,
+                )
+            )
         recovery_latency: Optional[float] = None
         if self.recovery_log:
             recovery_latency = self.env.now - self.recovery_log[0].time
             _H_RECOVERY_TIME.observe(recovery_latency)
         self._span.end(
-            outcome=outcome.name.lower(),
+            outcome=outcome.value,
             messages=self.network.stats.messages,
             bytes=self.network.stats.bytes,
             convergence_time=self.env.now,
@@ -1182,6 +1594,9 @@ class _Federation:
             crashes=self.crashes,
             failovers=self.failovers,
             refederations=self.refederations,
+            degradation=self.degradation,
+            achieved_bandwidth=self.achieved_bandwidth,
+            suspected=tuple(sorted(str(inst) for inst in self.suspected)),
         )
 
     def _assemble(self) -> ServiceFlowGraph:

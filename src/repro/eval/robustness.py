@@ -25,10 +25,17 @@ exactly that comparison.
 
 from __future__ import annotations
 
+import argparse
+import contextlib
+import csv
+import dataclasses
 import random
+import sys
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core.detector import BreakerConfig, DetectorConfig, RetryPolicy
 from repro.core.sflow import SFlowAlgorithm, SFlowConfig, SFlowResult
 from repro.eval.experiments import _trial_seed, map_cells_with_metrics
 from repro.network.failures import ChaosPlan, FailureInjector
@@ -345,3 +352,522 @@ def summarize(records: List[RobustnessRecord]) -> List[RobustnessCell]:
             )
         )
     return out
+
+
+# ---------------------------------------------------------------------------
+# gray failures: fault intensity x network size
+# ---------------------------------------------------------------------------
+
+
+def _gray_cell(
+    payload: Tuple["GrayFailureExperiment", int, int]
+) -> List["GrayFailureRecord"]:
+    """Top-level (picklable) worker for one (size, trial) gray-sweep cell."""
+    experiment, size, trial = payload
+    return experiment._cell(size, trial)
+
+
+#: Recovery-log kinds that count as "the runtime noticed this instance".
+_DETECTION_KINDS = frozenset({"suspect", "retry_exhausted", "quarantine"})
+
+
+@dataclass
+class GrayFailureConfig:
+    """Sweep parameters for the gray-failure experiment.
+
+    Every cell composes the full gray menu (channel loss / duplication /
+    reordering, stragglers, bandwidth sag ramps, flapping links, a healing
+    partition, plus a few timed crash-stops), scaled by ``intensities``.
+    ``required_fraction`` sets each run's bandwidth requirement relative to
+    its own crash-free baseline bottleneck, so the delivered-bandwidth
+    fraction is comparable across scenarios.
+    """
+
+    network_sizes: Tuple[int, ...] = (10, 20)
+    intensities: Tuple[float, ...] = (0.0, 0.3, 0.6)
+    trials: int = 5
+    n_services: int = 5
+    horizon: int = 2
+    fault_window: float = 60.0
+    heal_after: Optional[float] = 30.0
+    crash_fraction: float = 0.2
+    revive_after: Optional[float] = None
+    required_fraction: float = 0.8
+    retransmit_timeout: float = 10.0
+    max_retries: int = 2
+    failover_backoff: float = 5.0
+    max_failovers: int = 8
+    deadline: Optional[float] = 600.0
+    max_refederations: int = 2
+    refederate_hysteresis: float = 50.0
+    detector_threshold: float = 4.0
+    detector_poll: float = 15.0
+    breaker_failures: int = 2
+    retry_attempts: int = 3
+    retry_base: float = 8.0
+    seed: int = 0
+    #: 0/1 serial, ``n >= 2`` fans the (size, trial) cells over processes,
+    #: -1 uses every CPU.  Bit-identical to the serial sweep.
+    workers: int = 0
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise ValueError("need at least one trial")
+        if not self.network_sizes:
+            raise ValueError("need at least one network size")
+        if not self.intensities:
+            raise ValueError("need at least one intensity")
+        for intensity in self.intensities:
+            if not (0.0 <= intensity <= 1.0):
+                raise ValueError(
+                    f"intensities must be in [0, 1], got {intensity}"
+                )
+        if not (0.0 < self.required_fraction <= 1.0):
+            raise ValueError("required_fraction must be in (0, 1]")
+        if self.workers < -1:
+            raise ValueError("workers must be >= -1")
+
+    def instance_range(self, network_size: int) -> Tuple[int, int]:
+        per_service = max(1, round(network_size / self.n_services))
+        return (max(1, per_service - 1), per_service + 1)
+
+    def protocol_config(
+        self, required_bandwidth: Optional[float] = None
+    ) -> SFlowConfig:
+        """The protocol knobs; the adaptive-detection stack rides along
+        only on requirement-bearing (gray) runs, so the intensity-0 run is
+        bit-identical to the plain baseline."""
+        adaptive = required_bandwidth is not None
+        return SFlowConfig(
+            horizon=self.horizon,
+            retransmit_timeout=self.retransmit_timeout,
+            max_retries=self.max_retries,
+            failover_backoff=self.failover_backoff,
+            max_failovers=self.max_failovers,
+            deadline=self.deadline,
+            max_refederations=self.max_refederations,
+            required_bandwidth=required_bandwidth,
+            refederate_hysteresis=self.refederate_hysteresis,
+            detector=(
+                DetectorConfig(
+                    threshold=self.detector_threshold,
+                    bootstrap_interval=self.detector_poll,
+                )
+                if adaptive
+                else None
+            ),
+            breaker=(
+                BreakerConfig(failure_threshold=self.breaker_failures)
+                if adaptive
+                else None
+            ),
+            retry_policy=(
+                RetryPolicy(
+                    max_attempts=self.retry_attempts, base=self.retry_base
+                )
+                if adaptive
+                else None
+            ),
+        )
+
+
+@dataclass
+class GrayFailureRecord:
+    """One gray-failure run compared against its fault-free baseline."""
+
+    network_size: int
+    intensity: float
+    trial: int
+    outcome: str  # "succeeded" | "degraded" | "failed"
+    required_bandwidth: float
+    achieved_bandwidth: float
+    #: min(1, achieved / required); 0 for failed runs.
+    delivered_fraction: float
+    #: Mean sim-time from a crash to the runtime first noticing the victim
+    #: (suspect / retry_exhausted / quarantine event); 0 when nothing to
+    #: detect, ``detected`` says how many victims were noticed.
+    detection_latency: float
+    detected: int
+    crashed: int
+    suspected: int
+    false_suspicions: int
+    #: Suspected instances that were neither crashed, straggling, nor
+    #: partitioned, as a fraction of all suspected; 0 when none suspected.
+    false_suspicion_rate: float
+    #: First recovery event to completion (0 on undisturbed runs).
+    recovery_latency: float
+    messages: int
+    convergence_time: float
+    recovery_events: int
+    crashes: int
+    failovers: int
+    refederations: int
+    failure_reason: str = ""
+    #: At intensity 0 the run must reproduce the baseline bit for bit.
+    identical_to_baseline: bool = False
+
+
+class GrayFailureExperiment:
+    """The fault intensity x network size sweep (see module docstring)."""
+
+    def __init__(self, config: Optional[GrayFailureConfig] = None) -> None:
+        self.config = config or GrayFailureConfig()
+
+    def _scenario(self, size: int, trial: int) -> Scenario:
+        seed = _trial_seed(self.config.seed, size, trial)
+        return generate_scenario(
+            ScenarioConfig(
+                network_size=size,
+                n_services=self.config.n_services,
+                instances_per_service=self.config.instance_range(size),
+                seed=seed,
+            )
+        )
+
+    def _chaos(
+        self, scenario: Scenario, intensity: float
+    ) -> Optional[ChaosPlan]:
+        if intensity <= 0:
+            return None
+        chaos_seed = scenario.seed ^ 0x6B8B4567
+        injector = FailureInjector(
+            random.Random(chaos_seed),
+            protect=[scenario.source_instance],
+        )
+        return injector.gray_plan(
+            scenario.overlay,
+            intensity=intensity,
+            window=self.config.fault_window,
+            heal_after=self.config.heal_after,
+            crash_fraction=self.config.crash_fraction,
+            revive_after=self.config.revive_after,
+            seed=chaos_seed,
+        )
+
+    def _cell(self, size: int, trial: int) -> List[GrayFailureRecord]:
+        """One (size, trial) cell: the fault-free baseline plus every
+        intensity.  Intensity 0 re-runs the baseline configuration and
+        must reproduce it bit for bit."""
+        scenario = self._scenario(size, trial)
+        baseline_config = self.config.protocol_config()
+        baseline = SFlowAlgorithm(baseline_config).federate(
+            scenario.requirement,
+            scenario.overlay,
+            source_instance=scenario.source_instance,
+        )
+        if baseline.flow_graph is None:
+            raise RuntimeError(
+                f"gray-failure baseline failed for size={size} trial={trial}: "
+                f"{baseline.failure_reason}"
+            )
+        required = (
+            baseline.flow_graph.bottleneck_bandwidth()
+            * self.config.required_fraction
+        )
+        records: List[GrayFailureRecord] = []
+        for intensity in self.config.intensities:
+            if intensity <= 0:
+                result = SFlowAlgorithm(baseline_config).federate(
+                    scenario.requirement,
+                    scenario.overlay,
+                    source_instance=scenario.source_instance,
+                )
+                chaos = None
+            else:
+                chaos = self._chaos(scenario, intensity)
+                result = SFlowAlgorithm(
+                    self.config.protocol_config(required_bandwidth=required)
+                ).federate(
+                    scenario.requirement,
+                    scenario.overlay,
+                    source_instance=scenario.source_instance,
+                    chaos=chaos,
+                )
+            records.append(
+                self._record(
+                    size, intensity, trial, required, baseline, result, chaos
+                )
+            )
+        return records
+
+    @staticmethod
+    def _record(
+        size: int,
+        intensity: float,
+        trial: int,
+        required: float,
+        baseline: SFlowResult,
+        result: SFlowResult,
+        chaos: Optional[ChaosPlan],
+    ) -> GrayFailureRecord:
+        served = result.flow_graph is not None
+        if result.achieved_bandwidth is not None:
+            achieved = result.achieved_bandwidth
+        elif served:
+            achieved = result.flow_graph.bottleneck_bandwidth()
+        else:
+            achieved = 0.0
+        delivered = min(1.0, achieved / required) if served else 0.0
+        crash_times = {
+            str(event.instance): event.at
+            for event in (chaos.schedule.events if chaos is not None else ())
+        }
+        latencies: List[float] = []
+        for victim, crashed_at in crash_times.items():
+            noticed = [
+                event.time
+                for event in result.recovery_log
+                if event.instance == victim
+                and event.kind in _DETECTION_KINDS
+                and event.time >= crashed_at
+            ]
+            if noticed:
+                latencies.append(min(noticed) - crashed_at)
+        faulty: Set[str] = set(crash_times)
+        if chaos is not None and chaos.gray is not None:
+            faulty |= {str(inst) for inst in chaos.gray.faulty_instances()}
+        false_suspects = [
+            name for name in result.suspected if name not in faulty
+        ]
+        recovery_latency = (
+            result.convergence_time - result.recovery_log[0].time
+            if result.recovery_log
+            else 0.0
+        )
+        identical = (
+            served
+            and baseline.flow_graph is not None
+            and result.flow_graph.assignment == baseline.flow_graph.assignment
+            and result.messages == baseline.messages
+            and result.convergence_time == baseline.convergence_time
+            and result.recovery_log == baseline.recovery_log
+        )
+        return GrayFailureRecord(
+            network_size=size,
+            intensity=intensity,
+            trial=trial,
+            outcome=result.outcome.value,
+            required_bandwidth=required,
+            achieved_bandwidth=achieved,
+            delivered_fraction=delivered,
+            detection_latency=(
+                sum(latencies) / len(latencies) if latencies else 0.0
+            ),
+            detected=len(latencies),
+            crashed=len(crash_times),
+            suspected=len(result.suspected),
+            false_suspicions=len(false_suspects),
+            false_suspicion_rate=(
+                len(false_suspects) / len(result.suspected)
+                if result.suspected
+                else 0.0
+            ),
+            recovery_latency=recovery_latency,
+            messages=result.messages,
+            convergence_time=result.convergence_time,
+            recovery_events=len(result.recovery_log),
+            crashes=result.crashes,
+            failovers=result.failovers,
+            refederations=result.refederations,
+            failure_reason=result.failure_reason,
+            identical_to_baseline=identical,
+        )
+
+    def run(self) -> List[GrayFailureRecord]:
+        records, _ = self.run_with_metrics()
+        return records
+
+    def run_with_metrics(
+        self,
+    ) -> Tuple[List[GrayFailureRecord], Dict[str, dict]]:
+        """:meth:`run` plus the merged metric-registry delta (submission
+        order, so serial and pooled sweeps report identical totals)."""
+        payloads = [
+            (self, size, trial)
+            for size in self.config.network_sizes
+            for trial in range(self.config.trials)
+        ]
+        cells, metrics = map_cells_with_metrics(
+            _gray_cell, payloads, self.config.workers
+        )
+        records: List[GrayFailureRecord] = []
+        for cell in cells:
+            records.extend(cell)
+        return records, metrics
+
+
+@dataclass
+class GrayFailureCell:
+    """Aggregates of one ``(network size, intensity)`` sweep cell."""
+
+    network_size: int
+    intensity: float
+    trials: int
+    committed_rate: float
+    degraded_rate: float
+    failed_rate: float
+    mean_delivered_fraction: float
+    #: Mean over runs that had something to detect and detected it.
+    mean_detection_latency: float
+    false_suspicion_rate: float
+    mean_recovery_latency: float
+    all_identical_to_baseline: bool
+
+
+def summarize_gray(records: List[GrayFailureRecord]) -> List[GrayFailureCell]:
+    """Collapse trial records into per-cell aggregates, cell-sorted."""
+    from repro.eval.stats import mean
+
+    cells: Dict[Tuple[int, float], List[GrayFailureRecord]] = {}
+    for record in records:
+        cells.setdefault(
+            (record.network_size, record.intensity), []
+        ).append(record)
+    out: List[GrayFailureCell] = []
+    for (size, intensity), bucket in sorted(cells.items()):
+        detections = [
+            r.detection_latency for r in bucket if r.detected > 0
+        ]
+        suspected = sum(r.suspected for r in bucket)
+        false_suspicions = sum(r.false_suspicions for r in bucket)
+        disturbed = [r for r in bucket if r.recovery_events > 0]
+        out.append(
+            GrayFailureCell(
+                network_size=size,
+                intensity=intensity,
+                trials=len(bucket),
+                committed_rate=(
+                    sum(r.outcome == "succeeded" for r in bucket) / len(bucket)
+                ),
+                degraded_rate=(
+                    sum(r.outcome == "degraded" for r in bucket) / len(bucket)
+                ),
+                failed_rate=(
+                    sum(r.outcome == "failed" for r in bucket) / len(bucket)
+                ),
+                mean_delivered_fraction=mean(
+                    [r.delivered_fraction for r in bucket]
+                ),
+                mean_detection_latency=(
+                    mean(detections) if detections else 0.0
+                ),
+                false_suspicion_rate=(
+                    false_suspicions / suspected if suspected else 0.0
+                ),
+                mean_recovery_latency=(
+                    mean([r.recovery_latency for r in disturbed])
+                    if disturbed
+                    else 0.0
+                ),
+                all_identical_to_baseline=all(
+                    r.identical_to_baseline for r in bucket
+                ),
+            )
+        )
+    return out
+
+
+def run_gray_failure(
+    config: Optional[GrayFailureConfig] = None,
+) -> List[GrayFailureRecord]:
+    """Convenience wrapper mirroring :func:`run_robustness`."""
+    return GrayFailureExperiment(config).run()
+
+
+def write_gray_csv(records: Sequence[GrayFailureRecord], path: Path) -> None:
+    """Write one tidy CSV row per :class:`GrayFailureRecord`."""
+    names = [f.name for f in dataclasses.fields(GrayFailureRecord)]
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=names)
+        writer.writeheader()
+        for record in records:
+            writer.writerow(dataclasses.asdict(record))
+
+
+def _format_gray_table(cells: Sequence[GrayFailureCell]) -> str:
+    header = (
+        f"{'size':>4} {'intensity':>9} {'committed':>9} {'degraded':>8} "
+        f"{'failed':>6} {'delivered':>9} {'detect_lat':>10} "
+        f"{'false_susp':>10} {'recov_lat':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for cell in cells:
+        lines.append(
+            f"{cell.network_size:>4} {cell.intensity:>9.2f} "
+            f"{cell.committed_rate:>9.2f} {cell.degraded_rate:>8.2f} "
+            f"{cell.failed_rate:>6.2f} {cell.mean_delivered_fraction:>9.3f} "
+            f"{cell.mean_detection_latency:>10.2f} "
+            f"{cell.false_suspicion_rate:>10.3f} "
+            f"{cell.mean_recovery_latency:>9.2f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI for the seeded gray-failure campaign (the CI chaos-smoke job).
+
+    Runs a :class:`GrayFailureExperiment`, optionally under the flight
+    recorder, writes the per-trial CSV, and fails loudly if any exception
+    escaped a simulation handler (``engine.handler_error``) -- the
+    campaign's "no exception escapes the DES" guarantee.
+    """
+    parser = argparse.ArgumentParser(
+        description="Run a seeded gray-failure robustness campaign."
+    )
+    parser.add_argument("--sizes", type=int, nargs="+", default=[10, 20])
+    parser.add_argument(
+        "--intensities", type=float, nargs="+", default=[0.0, 0.3, 0.6]
+    )
+    parser.add_argument("--trials", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=0)
+    parser.add_argument("--csv", type=Path, default=None)
+    parser.add_argument(
+        "--record",
+        type=Path,
+        default=None,
+        help="capture a flight recording (JSONL) of the campaign",
+    )
+    args = parser.parse_args(argv)
+
+    from repro import obs
+    from repro.obs import metrics as obs_metrics
+
+    config = GrayFailureConfig(
+        network_sizes=tuple(args.sizes),
+        intensities=tuple(args.intensities),
+        trials=args.trials,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    errors_before = obs_metrics.registry().counter("engine.handler_error").total
+    context = (
+        obs.recording(args.record, meta={"campaign": "gray-failure"})
+        if args.record is not None
+        else contextlib.nullcontext()
+    )
+    with context:
+        records = GrayFailureExperiment(config).run()
+    errors_after = obs_metrics.registry().counter("engine.handler_error").total
+
+    if args.csv is not None:
+        write_gray_csv(records, args.csv)
+        print(f"wrote {len(records)} records to {args.csv}")
+    print(_format_gray_table(summarize_gray(records)))
+    if args.record is not None:
+        print(f"flight recording written to {args.record}")
+
+    leaked = errors_after - errors_before
+    if leaked:
+        print(
+            f"FAIL: {leaked:.0f} exception(s) escaped simulation handlers",
+            file=sys.stderr,
+        )
+        return 1
+    print("engine.handler_error: 0 (no exception escaped the DES)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    sys.exit(main())

@@ -17,14 +17,20 @@ Failure semantics (for chaos experiments):
 * a **jitter function** adds per-message delivery delay on top of the
   nominal latency (seed the callable's RNG for reproducible runs);
 * a **loss function** eats individual messages (the sender still pays for
-  the transmission).
+  the transmission);
+* a **gray model** (:meth:`MessageNetwork.install_gray`) generalises both
+  to the full gray-failure menu: per-channel loss, duplication and
+  reordering, straggler endpoints (inflated delivery latency), flapping
+  links and healing partitions.  The model returns one
+  :class:`ChannelEffect` per send; :class:`repro.network.failures.GrayFaultPlan`
+  provides the seeded, schedulable implementation.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, Hashable, Optional, Set
+from typing import Any, Callable, Deque, Dict, Hashable, Optional, Set, Tuple
 
 from repro.errors import SimulationError
 from repro.obs import metrics as obs_metrics
@@ -50,6 +56,50 @@ _H_DELIVERY = _REGISTRY.histogram(
     "realised delivery latency (virtual time, jitter included) of messages "
     "actually put in flight",
 )
+_M_DUPLICATED = _REGISTRY.counter(
+    "channel.duplicated", "extra copies injected by the gray model"
+)
+_M_REORDERED = _REGISTRY.counter(
+    "channel.reordered", "messages delayed out of FIFO order by the gray model"
+)
+_M_PARTITION_BLOCKED = _REGISTRY.counter(
+    "channel.partition_blocked",
+    "messages blocked by an active partition or a flapped-down link",
+)
+
+
+@dataclass(frozen=True)
+class ChannelEffect:
+    """What the gray model decided for one message in flight.
+
+    ``blocked`` models a partitioned or flapped-down channel (the message
+    vanishes, counted separately from random loss); ``drop`` is random
+    gray loss; ``extra_delay`` inflates the delivery latency (straggler
+    endpoints, reordering); ``reordered`` marks the delay as a reordering
+    event for accounting; ``duplicate_delays`` injects one extra copy of
+    the message per entry, each offset by that much additional delay.
+    """
+
+    blocked: bool = False
+    drop: bool = False
+    extra_delay: float = 0.0
+    reordered: bool = False
+    duplicate_delays: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.extra_delay < 0:
+            raise SimulationError(
+                f"extra_delay must be >= 0, got {self.extra_delay}"
+            )
+        for delay in self.duplicate_delays:
+            if delay < 0:
+                raise SimulationError(
+                    f"duplicate delay must be >= 0, got {delay}"
+                )
+
+
+#: No-op effect shared by inactive models (avoids per-send allocation).
+NO_EFFECT = ChannelEffect()
 
 
 @dataclass(frozen=True)
@@ -65,6 +115,10 @@ class Envelope:
     def __post_init__(self) -> None:
         if self.size < 0:
             raise SimulationError(f"message size must be >= 0, got {self.size}")
+
+
+#: ``effect(src, dst, envelope, now, latency) -> ChannelEffect`` gray model.
+GrayModelFn = Callable[[Address, Address, Envelope, float, float], ChannelEffect]
 
 
 class Mailbox:
@@ -131,6 +185,9 @@ class NetworkStats:
     dropped: int = 0
     lost: int = 0
     crash_dropped: int = 0
+    duplicated: int = 0
+    reordered: int = 0
+    partition_blocked: int = 0
     per_destination: Dict[Address, int] = field(default_factory=dict)
 
 
@@ -160,7 +217,16 @@ class MessageNetwork:
         self._jitter_fn = jitter_fn
         self._mailboxes: Dict[Address, Mailbox] = {}
         self._crashed: Set[Address] = set()
+        self._gray_model: Optional[GrayModelFn] = None
         self.stats = NetworkStats()
+
+    def install_gray(self, model: Optional[GrayModelFn]) -> None:
+        """Attach (or clear, with ``None``) the gray-failure model.
+
+        The model is consulted once per :meth:`send`; a network without one
+        behaves bit-for-bit as before the gray fault layer existed.
+        """
+        self._gray_model = model
 
     # -- membership -------------------------------------------------------------
 
@@ -255,10 +321,36 @@ class MessageNetwork:
             self.stats.lost += 1
             _M_LOST.inc()
             return envelope
+        effect = NO_EFFECT
+        if self._gray_model is not None:
+            effect = self._gray_model(src, dst, envelope, self.env.now, latency)
+            if effect.blocked:
+                # A partitioned / flapped-down channel: nothing arrives,
+                # and unlike random loss the outage is correlated in time.
+                self.stats.partition_blocked += 1
+                _M_PARTITION_BLOCKED.inc()
+                return envelope
+            if effect.drop:
+                self.stats.lost += 1
+                _M_LOST.inc()
+                return envelope
+            if effect.extra_delay > 0:
+                latency += effect.extra_delay
+                if effect.reordered:
+                    self.stats.reordered += 1
+                    _M_REORDERED.inc()
         _H_DELIVERY.observe(latency)
         delivery = Event(self.env)
         delivery.callbacks.append(lambda _e: self._deliver(box, envelope))
         delivery.succeed(delay=latency)
+        for extra in effect.duplicate_delays:
+            # A duplicated copy trails the original; reliable-mode
+            # receivers dedup it by msg_id, raw consumers see it twice.
+            self.stats.duplicated += 1
+            _M_DUPLICATED.inc()
+            duplicate = Event(self.env)
+            duplicate.callbacks.append(lambda _e: self._deliver(box, envelope))
+            duplicate.succeed(delay=latency + extra)
         return envelope
 
     def _deliver(self, box: Mailbox, envelope: Envelope) -> None:

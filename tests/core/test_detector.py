@@ -1,0 +1,232 @@
+"""Tests for adaptive failure detection: phi-accrual, retries, breakers."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.detector import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+    DetectorConfig,
+    PhiAccrualDetector,
+    RetryPolicy,
+)
+
+
+def feed(detector, peer, times):
+    for t in times:
+        detector.heartbeat(peer, t)
+
+
+class TestDetectorConfig:
+    def test_defaults_valid(self):
+        DetectorConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"threshold": 0.0},
+            {"window": 1},
+            {"min_samples": 1},
+            {"bootstrap_interval": 0.0},
+            {"min_stddev": 0.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DetectorConfig(**kwargs)
+
+
+class TestPhiAccrual:
+    def test_unknown_peer_has_zero_phi(self):
+        detector = PhiAccrualDetector()
+        assert detector.phi("ghost", 100.0) == 0.0
+        assert not detector.suspect("ghost", 100.0)
+
+    def test_phi_grows_with_silence(self):
+        detector = PhiAccrualDetector()
+        feed(detector, "a", [0.0, 10.0, 20.0, 30.0, 40.0])
+        early = detector.phi("a", 45.0)
+        late = detector.phi("a", 200.0)
+        assert 0.0 < early < late
+
+    def test_regular_heartbeats_keep_phi_low(self):
+        detector = PhiAccrualDetector(DetectorConfig(threshold=4.0))
+        feed(detector, "a", [float(t) for t in range(0, 100, 10)])
+        # One missed beat is nowhere near suspicion.
+        assert not detector.suspect("a", 105.0)
+
+    def test_adaptivity_slow_cadence_tolerates_longer_silence(self):
+        config = DetectorConfig(threshold=4.0)
+        detector = PhiAccrualDetector(config)
+        feed(detector, "fast", [float(t) for t in range(0, 50, 5)])
+        feed(detector, "slow", [float(t) for t in range(0, 500, 50)])
+        # 120 units of silence: ~24 missed beats for the fast peer but
+        # barely 2.4 for the slow one.
+        now = 500.0 + 120.0
+        assert detector.phi("fast", now) > detector.phi("slow", now)
+
+    def test_heartbeat_clears_suspicion(self):
+        detector = PhiAccrualDetector(DetectorConfig(threshold=2.0))
+        feed(detector, "a", [0.0, 5.0, 10.0, 15.0])
+        assert detector.poll(500.0) != []
+        assert detector.suspected_peers() == ("a",)
+        detector.heartbeat("a", 501.0)
+        assert detector.suspected_peers() == ()
+
+    def test_poll_is_edge_triggered(self):
+        detector = PhiAccrualDetector(DetectorConfig(threshold=2.0))
+        feed(detector, "a", [0.0, 5.0, 10.0, 15.0])
+        first = detector.poll(500.0)
+        assert [peer for peer, _ in first] == ["a"]
+        # Still silent, still over threshold -- but already reported.
+        assert detector.poll(600.0) == []
+
+    def test_poll_reports_phi_at_crossing(self):
+        detector = PhiAccrualDetector(DetectorConfig(threshold=2.0))
+        feed(detector, "a", [0.0, 5.0, 10.0, 15.0])
+        ((peer, level),) = detector.poll(500.0)
+        assert peer == "a"
+        assert level >= 2.0
+
+    def test_bootstrap_uses_configured_interval(self):
+        config = DetectorConfig(bootstrap_interval=10.0, threshold=4.0)
+        detector = PhiAccrualDetector(config)
+        detector.heartbeat("a", 0.0)  # one sample: below min_samples
+        expected = 200.0 / (10.0 + 2.5) * math.log10(math.e)
+        assert detector.phi("a", 200.0) == pytest.approx(expected)
+
+    def test_forget_drops_history_and_suspicion(self):
+        detector = PhiAccrualDetector(DetectorConfig(threshold=2.0))
+        feed(detector, "a", [0.0, 5.0, 10.0])
+        detector.poll(500.0)
+        detector.forget("a")
+        assert detector.suspected_peers() == ()
+        assert detector.phi("a", 1000.0) == 0.0
+
+    def test_window_bounds_history(self):
+        config = DetectorConfig(window=4)
+        detector = PhiAccrualDetector(config)
+        feed(detector, "a", [float(t) for t in range(0, 1000, 10)])
+        assert len(detector._history["a"].intervals) == 4
+
+    def test_min_stddev_floors_variance(self):
+        # Perfectly regular beats must not make phi explode instantly.
+        detector = PhiAccrualDetector(DetectorConfig(threshold=8.0))
+        feed(detector, "a", [float(t) for t in range(0, 100, 10)])
+        assert detector.phi("a", 101.0) < 1.0
+
+
+class TestRetryPolicy:
+    def test_defaults_valid(self):
+        RetryPolicy()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base": 0.0},
+            {"multiplier": 0.5},
+            {"base": 10.0, "cap": 5.0},
+            {"jitter": 1.0},
+            {"jitter": -0.1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_exponential_backoff_without_jitter(self):
+        policy = RetryPolicy(base=10.0, multiplier=2.0, cap=35.0, jitter=0.0)
+        assert policy.delay(0) == pytest.approx(10.0)
+        assert policy.delay(1) == pytest.approx(20.0)
+        assert policy.delay(2) == pytest.approx(35.0)  # capped
+        assert policy.delay(3) == pytest.approx(35.0)
+
+    def test_jitter_bounded_and_seeded(self):
+        policy = RetryPolicy(base=10.0, jitter=0.25)
+        delays = [policy.delay(0, random.Random(7)) for _ in range(5)]
+        assert all(7.5 <= d <= 12.5 for d in delays)
+        # Same seed, same draw -- bit-identical.
+        assert len(set(delays)) == 1
+
+    def test_delays_is_bounded_sequence(self):
+        policy = RetryPolicy(max_attempts=3, jitter=0.0)
+        assert len(list(policy.delays())) == 3
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(-1)
+
+
+class TestCircuitBreaker:
+    def test_starts_closed(self):
+        breaker = CircuitBreaker()
+        assert breaker.state("a", 0.0) is BreakerState.CLOSED
+        assert breaker.allows("a", 0.0)
+
+    def test_opens_after_threshold_failures(self):
+        breaker = CircuitBreaker(BreakerConfig(failure_threshold=2))
+        assert not breaker.record_failure("a", 1.0)
+        assert breaker.record_failure("a", 2.0)  # crosses the threshold
+        assert breaker.state("a", 2.0) is BreakerState.OPEN
+        assert not breaker.allows("a", 3.0)
+        assert breaker.quarantined(3.0) == ("a",)
+
+    def test_success_resets_failure_count(self):
+        breaker = CircuitBreaker(BreakerConfig(failure_threshold=2))
+        breaker.record_failure("a", 1.0)
+        breaker.record_success("a", 2.0)
+        assert not breaker.record_failure("a", 3.0)  # count restarted
+        assert breaker.state("a", 3.0) is BreakerState.CLOSED
+
+    def test_half_open_after_cooloff_admits_limited_probes(self):
+        config = BreakerConfig(
+            failure_threshold=1, reset_timeout=10.0, half_open_probes=1
+        )
+        breaker = CircuitBreaker(config)
+        breaker.record_failure("a", 0.0)
+        assert not breaker.allows("a", 5.0)  # still cooling off
+        assert breaker.allows("a", 10.0)  # the half-open probe
+        assert not breaker.allows("a", 10.0)  # budget spent
+
+    def test_half_open_success_closes(self):
+        config = BreakerConfig(failure_threshold=1, reset_timeout=10.0)
+        breaker = CircuitBreaker(config)
+        breaker.record_failure("a", 0.0)
+        assert breaker.allows("a", 10.0)
+        breaker.record_success("a", 11.0)
+        assert breaker.state("a", 11.0) is BreakerState.CLOSED
+        assert breaker.allows("a", 11.0)
+
+    def test_half_open_failure_reopens(self):
+        config = BreakerConfig(failure_threshold=1, reset_timeout=10.0)
+        breaker = CircuitBreaker(config)
+        breaker.record_failure("a", 0.0)
+        assert breaker.allows("a", 10.0)
+        assert breaker.record_failure("a", 11.0)  # reopens
+        assert breaker.state("a", 12.0) is BreakerState.OPEN
+        # The cool-off restarts from the reopen time.
+        assert not breaker.allows("a", 20.0)
+        assert breaker.allows("a", 21.0)
+
+    def test_circuits_are_per_peer(self):
+        breaker = CircuitBreaker(BreakerConfig(failure_threshold=1))
+        breaker.record_failure("a", 0.0)
+        assert not breaker.allows("a", 1.0)
+        assert breaker.allows("b", 1.0)
+        assert breaker.quarantined(1.0) == ("a",)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_threshold": 0},
+            {"reset_timeout": 0.0},
+            {"half_open_probes": 0},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BreakerConfig(**kwargs)

@@ -2,8 +2,14 @@
 
 import pytest
 
+from repro.core.degradation import SessionState
 from repro.core.monitor import MonitorConfig, MonitoredFederation
-from repro.network.failures import degrade_links, fail_instances
+from repro.network.failures import (
+    degrade_links,
+    fail_instances,
+    fail_links,
+    revive_links,
+)
 from repro.services.workloads import travel_agency_scenario
 
 
@@ -224,3 +230,142 @@ class TestEventOrdering:
         report = fed.run(until=10)
         assert report.events_of("hologram") == []
         assert report.events_of("") == []
+
+
+class TestSessionStateMachine:
+    """COMMITTED -> DEGRADED -> (repair | refederate | FAILED) -> recover,
+    active only when ``required_bandwidth`` is configured."""
+
+    def all_graph_links(self, fed):
+        return [
+            (e.src, e.dst)
+            for e in fed.graph.edges()
+            if fed.overlay.link(e.src, e.dst) is not None
+        ]
+
+    def degrade_all(self, fed, factor):
+        def mutation(overlay):
+            targets = [
+                (src, dst)
+                for src, dst in self.all_graph_links(fed)
+                if overlay.link(src, dst) is not None
+            ]
+            return degrade_links(overlay, targets, bandwidth_factor=factor)
+
+        return mutation
+
+    def monitored_with_requirement(self, scenario, fraction, **extra):
+        fed = monitored(scenario)  # probe once to learn the baseline
+        baseline = fed.graph.bottleneck_bandwidth()
+        return MonitoredFederation(
+            scenario.requirement,
+            scenario.overlay,
+            source_instance=scenario.source_instance,
+            config=MonitorConfig(
+                required_bandwidth=baseline * fraction, **extra
+            ),
+        )
+
+    def test_healthy_run_stays_committed(self, scenario):
+        fed = self.monitored_with_requirement(scenario, 0.5)
+        report = fed.run(until=30)
+        assert report.final_state is SessionState.COMMITTED
+        assert report.degradations == ()
+        assert not report.events_of("degrade")
+
+    def test_degradation_records_and_transitions(self, scenario):
+        fed = self.monitored_with_requirement(scenario, 0.8)
+        fed.schedule_mutation(12.0, self.degrade_all(fed, 0.01), "collapse")
+        report = fed.run(until=40)
+        degrades = report.events_of("degrade")
+        assert len(degrades) == 1  # no flap-storm: one transition
+        assert len(report.degradations) == 1
+        record = report.degradations[0]
+        assert record.achieved_bandwidth < record.required_bandwidth
+        assert record.delivered_fraction < 1.0
+
+    def test_heal_recovers_after_consecutive_probes(self, scenario):
+        # Two repair charges: one for the collapse (which re-federates onto
+        # alternative links), one to re-find the healed originals.
+        fed = self.monitored_with_requirement(
+            scenario, 0.8, recovery_probes=2, max_repairs=2,
+            max_refederations=1,
+        )
+        reference = fed.overlay
+        victims = self.all_graph_links(fed)
+
+        def heal(overlay):
+            targets = [
+                (src, dst)
+                for src, dst in victims
+                if overlay.link(src, dst) is not None
+            ]
+            return revive_links(overlay, reference, targets)
+
+        fed.schedule_mutation(12.0, self.degrade_all(fed, 0.01), "collapse")
+        fed.schedule_mutation(32.0, heal, "heal")
+        report = fed.run(until=60)
+        assert report.events_of("degrade")
+        recoveries = report.events_of("recover")
+        assert len(recoveries) == 1
+        # recovery_probes=2: the first healthy probe after the heal does
+        # not recover; the second does.
+        assert recoveries[0].time > 32.0 + fed.config.probe_interval
+        assert report.final_state is SessionState.COMMITTED
+
+    def test_unhealable_session_serves_degraded(self, scenario):
+        fed = self.monitored_with_requirement(
+            scenario, 0.8, max_repairs=1, max_refederations=1
+        )
+        fed.schedule_mutation(12.0, self.degrade_all(fed, 0.01), "collapse")
+        report = fed.run(until=60)
+        assert report.final_state is SessionState.DEGRADED
+        assert report.refederations <= 1
+
+    def test_refederation_respects_hysteresis_and_budget(self, scenario):
+        fed = self.monitored_with_requirement(
+            scenario,
+            0.8,
+            max_repairs=0,
+            max_refederations=2,
+            refederate_hysteresis=15.0,
+        )
+        fed.schedule_mutation(7.0, self.degrade_all(fed, 0.01), "collapse")
+        report = fed.run(until=100)
+        refederations = report.events_of("refederate")
+        assert 1 <= len(refederations) <= 2
+        for earlier, later in zip(refederations, refederations[1:]):
+            assert later.time - earlier.time >= 15.0
+
+    def test_total_outage_fails_structurally(self, scenario):
+        fed = self.monitored_with_requirement(
+            scenario, 0.5, max_repairs=0, max_refederations=0
+        )
+        source = fed.graph.instance_for(scenario.requirement.source)
+
+        def cut_links(overlay):
+            targets = [
+                (link.src, link.dst) for link in overlay.out_links(source)
+            ]
+            return fail_links(overlay, targets)
+
+        fed.schedule_mutation(12.0, cut_links, "amputate source")
+        report = fed.run(until=40)
+        assert report.final_state is SessionState.FAILED
+        assert report.events_of("failed")
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MonitorConfig(required_bandwidth=0.0)
+        with pytest.raises(ValueError):
+            MonitorConfig(recovery_probes=0)
+        with pytest.raises(ValueError):
+            MonitorConfig(refederate_hysteresis=-1.0)
+        with pytest.raises(ValueError):
+            MonitorConfig(max_refederations=-1)
+
+    def test_legacy_reports_default_committed(self, scenario):
+        report = monitored(scenario).run(until=20)
+        assert report.final_state is SessionState.COMMITTED
+        assert report.degradations == ()
+        assert report.refederations == 0

@@ -1,0 +1,231 @@
+"""Tests for federation under gray faults: degradation ladder, DEGRADED
+sessions, adaptive detection, and bit-identical replay under chaos."""
+
+import random
+
+import pytest
+
+from repro.core.degradation import SessionState
+from repro.core.detector import BreakerConfig, DetectorConfig, RetryPolicy
+from repro.core.sflow import (
+    FederationOutcome,
+    SFlowAlgorithm,
+    SFlowConfig,
+)
+from repro.network.failures import (
+    ChaosPlan,
+    CrashEvent,
+    CrashSchedule,
+    FailureInjector,
+    GrayFaultPlan,
+    LinkDegradationRamp,
+)
+from repro.services.workloads import ScenarioConfig, generate_scenario
+
+BASE = dict(
+    retransmit_timeout=10.0,
+    max_retries=2,
+    failover_backoff=5.0,
+    deadline=600.0,
+)
+
+
+@pytest.fixture
+def scenario():
+    return generate_scenario(
+        ScenarioConfig(
+            network_size=16, n_services=5, instances_per_service=(2, 4), seed=7
+        )
+    )
+
+
+def federate(scenario, config, chaos=None):
+    return SFlowAlgorithm(config).federate(
+        scenario.requirement,
+        scenario.overlay,
+        source_instance=scenario.source_instance,
+        chaos=chaos,
+    )
+
+
+def baseline_bandwidth(scenario):
+    result = federate(scenario, SFlowConfig(**BASE))
+    assert result.outcome is FederationOutcome.SUCCEEDED
+    return result.flow_graph.bottleneck_bandwidth()
+
+
+class TestOutcomeAliases:
+    def test_committed_is_succeeded(self):
+        assert FederationOutcome.COMMITTED is FederationOutcome.SUCCEEDED
+
+    def test_session_state_mapping(self, scenario):
+        result = federate(scenario, SFlowConfig(**BASE))
+        assert result.session_state is SessionState.COMMITTED
+
+
+class TestRequiredBandwidth:
+    def test_satisfied_requirement_commits(self, scenario):
+        required = baseline_bandwidth(scenario) * 0.5
+        result = federate(
+            scenario, SFlowConfig(required_bandwidth=required, **BASE)
+        )
+        assert result.outcome is FederationOutcome.SUCCEEDED
+        assert result.session_state is SessionState.COMMITTED
+        assert result.degradation is None
+        assert result.achieved_bandwidth >= required
+
+    def test_unreachable_requirement_serves_degraded(self, scenario):
+        required = baseline_bandwidth(scenario) * 10.0
+        result = federate(
+            scenario, SFlowConfig(required_bandwidth=required, **BASE)
+        )
+        assert result.outcome is FederationOutcome.DEGRADED
+        assert result.session_state is SessionState.DEGRADED
+        assert result.flow_graph is not None  # served, not dropped
+        record = result.degradation
+        assert record is not None
+        assert record.required_bandwidth == pytest.approx(required)
+        assert 0.0 < record.delivered_fraction < 1.0
+        assert record.reason
+        kinds = [event.kind for event in result.recovery_log]
+        assert "degrade_detected" in kinds
+        assert "degraded" in kinds
+
+    def test_degraded_session_reports_achieved_bandwidth(self, scenario):
+        nominal = baseline_bandwidth(scenario)
+        result = federate(
+            scenario, SFlowConfig(required_bandwidth=nominal * 10.0, **BASE)
+        )
+        assert result.achieved_bandwidth == pytest.approx(
+            result.degradation.achieved_bandwidth
+        )
+
+    def test_invalid_required_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            SFlowConfig(required_bandwidth=0.0)
+        with pytest.raises(ValueError):
+            SFlowConfig(refederate_hysteresis=-1.0)
+
+
+class TestGrayRamps:
+    def test_ramped_links_reduce_delivered_bandwidth(self, scenario):
+        nominal = baseline_bandwidth(scenario)
+        base = federate(scenario, SFlowConfig(**BASE))
+        # Sag every link the baseline graph actually uses to 10% capacity.
+        ramps = []
+        for edge in base.flow_graph.edges():
+            path = edge.overlay_path or (edge.src, edge.dst)
+            for src, dst in zip(path, path[1:]):
+                ramps.append(
+                    LinkDegradationRamp(
+                        src, dst, start=0.0, duration=1.0, floor_factor=0.1
+                    )
+                )
+        chaos = ChaosPlan(gray=GrayFaultPlan(ramps=tuple(ramps)), seed=1)
+        result = federate(
+            scenario,
+            SFlowConfig(required_bandwidth=nominal * 0.9, **BASE),
+            chaos=chaos,
+        )
+        # Full nominal capacity is gone; the ladder must have engaged.
+        kinds = [event.kind for event in result.recovery_log]
+        assert "degrade_detected" in kinds
+        assert result.outcome in (
+            FederationOutcome.SUCCEEDED,  # repair/refederate found a way
+            FederationOutcome.DEGRADED,
+        )
+        if result.outcome is FederationOutcome.DEGRADED:
+            assert result.achieved_bandwidth < nominal * 0.9
+
+
+class TestAdaptiveStack:
+    def config(self, required):
+        return SFlowConfig(
+            required_bandwidth=required,
+            detector=DetectorConfig(threshold=4.0, bootstrap_interval=15.0),
+            breaker=BreakerConfig(failure_threshold=2, reset_timeout=60.0),
+            retry_policy=RetryPolicy(
+                max_attempts=3, base=8.0, multiplier=2.0, cap=64.0, jitter=0.2
+            ),
+            **BASE,
+        )
+
+    def test_crashed_peer_lands_in_suspected(self, scenario):
+        base = federate(scenario, SFlowConfig(**BASE))
+        victim = next(
+            inst
+            for sid, inst in sorted(base.flow_graph.assignment.items())
+            if inst != scenario.source_instance
+            and len(scenario.overlay.instances_of(sid)) > 1
+        )
+        chaos = ChaosPlan(
+            schedule=CrashSchedule(events=(CrashEvent(victim, at=0.5),)),
+            seed=3,
+        )
+        required = base.flow_graph.bottleneck_bandwidth() * 0.1
+        result = federate(scenario, self.config(required), chaos=chaos)
+        assert result.outcome in (
+            FederationOutcome.SUCCEEDED,
+            FederationOutcome.DEGRADED,
+        )
+        assert str(victim) in result.suspected
+
+    def test_gray_campaign_replays_bit_identically(self, scenario):
+        injector = FailureInjector(
+            random.Random(11), protect=[scenario.source_instance]
+        )
+        chaos = injector.gray_plan(
+            scenario.overlay,
+            intensity=0.6,
+            window=60.0,
+            heal_after=30.0,
+            crash_fraction=0.2,
+            seed=17,
+        )
+        required = baseline_bandwidth(scenario) * 0.8
+        runs = [
+            federate(scenario, self.config(required), chaos=chaos)
+            for _ in range(2)
+        ]
+        first, second = runs
+        assert first.outcome is second.outcome
+        assert first.messages == second.messages
+        assert first.convergence_time == second.convergence_time
+        assert first.recovery_log == second.recovery_log
+        assert first.suspected == second.suspected
+        if first.flow_graph is not None:
+            assert first.flow_graph.assignment == second.flow_graph.assignment
+
+    def test_heavy_chaos_ends_in_terminal_state(self, scenario):
+        """No exception escapes the DES even under maximal gray pressure."""
+        injector = FailureInjector(
+            random.Random(23), protect=[scenario.source_instance]
+        )
+        chaos = injector.gray_plan(
+            scenario.overlay,
+            intensity=1.0,
+            window=80.0,
+            heal_after=40.0,
+            crash_fraction=0.4,
+            seed=29,
+        )
+        required = baseline_bandwidth(scenario) * 0.8
+        result = federate(scenario, self.config(required), chaos=chaos)
+        assert result.outcome in (
+            FederationOutcome.SUCCEEDED,
+            FederationOutcome.DEGRADED,
+            FederationOutcome.FAILED,
+        )
+        if result.outcome is FederationOutcome.FAILED:
+            assert result.failure_reason
+            assert result.session_state is SessionState.FAILED
+
+    def test_legacy_path_untouched_without_adaptive_config(self, scenario):
+        """No detector/breaker/policy and no requirement: identical to the
+        pre-gray protocol (guards the bit-compatibility claim)."""
+        plain = SFlowConfig(**BASE)
+        a = federate(scenario, plain)
+        b = federate(scenario, plain)
+        assert a.recovery_log == b.recovery_log
+        assert a.messages == b.messages
+        assert a.suspected == () and a.degradation is None

@@ -1,0 +1,173 @@
+"""Tests for the gray-failure experiment sweep (detection + degradation)."""
+
+import dataclasses
+
+import pytest
+
+from repro.eval.robustness import (
+    GrayFailureConfig,
+    GrayFailureExperiment,
+    run_gray_failure,
+    summarize_gray,
+    write_gray_csv,
+)
+
+SMALL = GrayFailureConfig(
+    network_sizes=(10,),
+    intensities=(0.0, 0.5),
+    trials=2,
+    n_services=5,
+    seed=1,
+)
+
+
+@pytest.fixture(scope="module")
+def records():
+    return run_gray_failure(SMALL)
+
+
+class TestConfigValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            GrayFailureConfig(trials=0)
+        with pytest.raises(ValueError):
+            GrayFailureConfig(network_sizes=())
+        with pytest.raises(ValueError):
+            GrayFailureConfig(intensities=())
+        with pytest.raises(ValueError):
+            GrayFailureConfig(intensities=(1.5,))
+        with pytest.raises(ValueError):
+            GrayFailureConfig(required_fraction=0.0)
+
+    def test_protocol_config_is_adaptive_only_with_requirement(self):
+        config = GrayFailureConfig()
+        plain = config.protocol_config()
+        assert plain.required_bandwidth is None
+        assert plain.detector is None and plain.breaker is None
+        adaptive = config.protocol_config(required_bandwidth=10.0)
+        assert adaptive.required_bandwidth == 10.0
+        assert adaptive.detector is not None
+        assert adaptive.breaker is not None
+        assert adaptive.retry_policy is not None
+
+
+class TestSweep:
+    def test_full_grid_covered(self, records):
+        cells = {(r.network_size, r.intensity, r.trial) for r in records}
+        assert cells == {
+            (size, intensity, trial)
+            for size in SMALL.network_sizes
+            for intensity in SMALL.intensities
+            for trial in range(SMALL.trials)
+        }
+
+    def test_intensity_zero_is_bit_for_bit_baseline(self, records):
+        """Acceptance criterion: at intensity 0 the sweep reproduces the
+        fault-free run exactly (graphs, messages, recovery logs)."""
+        quiet = [r for r in records if r.intensity == 0.0]
+        assert quiet and all(r.identical_to_baseline for r in quiet)
+        assert all(r.outcome == "succeeded" for r in quiet)
+        assert all(r.delivered_fraction == 1.0 for r in quiet)
+
+    def test_every_session_reaches_a_terminal_state(self, records):
+        assert all(
+            r.outcome in {"succeeded", "degraded", "failed"} for r in records
+        )
+        for record in records:
+            if record.outcome == "degraded":
+                assert 0.0 < record.delivered_fraction < 1.0
+            if record.outcome == "failed":
+                assert record.failure_reason
+
+    def test_rates_are_well_formed(self, records):
+        for record in records:
+            assert 0.0 <= record.delivered_fraction <= 1.0
+            assert 0.0 <= record.false_suspicion_rate <= 1.0
+            assert record.false_suspicions <= record.suspected
+            assert record.detection_latency >= 0.0
+
+    def test_deterministic(self):
+        first = run_gray_failure(SMALL)
+        second = run_gray_failure(SMALL)
+        assert first == second
+
+    def test_summarize_aggregates_cells(self, records):
+        cells = summarize_gray(records)
+        assert len(cells) == len(SMALL.network_sizes) * len(SMALL.intensities)
+        by_key = {(c.network_size, c.intensity): c for c in cells}
+        quiet = by_key[(10, 0.0)]
+        assert quiet.all_identical_to_baseline
+        assert quiet.committed_rate == 1.0
+        for cell in cells:
+            total = cell.committed_rate + cell.degraded_rate + cell.failed_rate
+            assert total == pytest.approx(1.0)
+
+    def test_csv_round_trip(self, records, tmp_path):
+        path = tmp_path / "gray.csv"
+        write_gray_csv(records, path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == len(records) + 1
+        header = lines[0].split(",")
+        expected = [
+            f.name
+            for f in dataclasses.fields(records[0])
+        ]
+        assert header == expected
+        assert "delivered_fraction" in header
+        assert "detection_latency" in header
+        assert "false_suspicion_rate" in header
+
+
+class TestParallelDeterminism:
+    """Satellite: same seed => bit-identical records and metric counters
+    between serial and multi-worker sweeps."""
+
+    def test_parallel_records_bit_identical_to_serial(self):
+        serial = GrayFailureExperiment(
+            dataclasses.replace(SMALL, workers=0)
+        ).run()
+        pooled = GrayFailureExperiment(
+            dataclasses.replace(SMALL, workers=2)
+        ).run()
+        assert serial == pooled
+
+    def test_metric_snapshots_match_across_worker_split(self):
+        def counters(snapshot):
+            return {
+                name: record["values"]
+                for name, record in snapshot.items()
+                if record["kind"] == "counter"
+            }
+
+        def histogram_shapes(snapshot):
+            return {
+                name: {
+                    label: (series["count"], tuple(series["buckets"]))
+                    for label, series in record["values"].items()
+                }
+                for name, record in snapshot.items()
+                if record["kind"] == "histogram"
+            }
+
+        _, serial = GrayFailureExperiment(
+            dataclasses.replace(SMALL, workers=0)
+        ).run_with_metrics()
+        _, pooled = GrayFailureExperiment(
+            dataclasses.replace(SMALL, workers=2)
+        ).run_with_metrics()
+        assert counters(serial) == counters(pooled)
+        assert histogram_shapes(serial) == histogram_shapes(pooled)
+
+    def test_recovery_event_logs_identical_across_worker_split(self):
+        """The raw RecoveryEvent streams, not just the summary records."""
+        config = dataclasses.replace(SMALL, intensities=(0.6,), trials=1)
+        serial = GrayFailureExperiment(
+            dataclasses.replace(config, workers=0)
+        ).run()
+        pooled = GrayFailureExperiment(
+            dataclasses.replace(config, workers=2)
+        ).run()
+        assert [r.recovery_events for r in serial] == [
+            r.recovery_events for r in pooled
+        ]
+        assert serial == pooled

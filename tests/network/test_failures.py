@@ -3,19 +3,28 @@
 import random
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import SFlowError
 from repro.network.failures import (
+    ChannelFault,
     ChaosPlan,
     CrashEvent,
     CrashSchedule,
     FailureInjector,
     FailurePlan,
+    GrayFaultPlan,
+    LinkDegradationRamp,
+    LinkFlap,
+    PartitionEvent,
+    StragglerNode,
     degrade_links,
     fail_instances,
     fail_links,
+    revive_links,
 )
 from repro.network.overlay import ServiceInstance
+from repro.routing.oracle import RouteOracle
 from repro.services.workloads import travel_agency_scenario
 
 
@@ -282,3 +291,320 @@ class TestChaosPlan:
         assert plan.active
         assert plan.seed == 42
         assert len(plan.schedule.events) == 2
+
+
+# ---------------------------------------------------------------------------
+# gray faults
+# ---------------------------------------------------------------------------
+
+
+def _build_overlay():
+    """Standalone copy of the ``small_overlay`` fixture for hypothesis."""
+    from repro.network.metrics import PathQuality
+    from repro.network.overlay import OverlayGraph
+
+    overlay = OverlayGraph()
+    overlay.add_link(SRC, MID1, PathQuality(50.0, 5.0))
+    overlay.add_link(SRC, MID2, PathQuality(10.0, 1.0))
+    overlay.add_link(MID1, DST, PathQuality(50.0, 5.0))
+    overlay.add_link(MID2, DST, PathQuality(10.0, 1.0))
+    return overlay
+
+
+_ALL_LINKS = [(SRC, MID1), (SRC, MID2), (MID1, DST), (MID2, DST)]
+
+
+def _link_state(overlay):
+    """Full overlay state as a comparable value: instances + link metrics."""
+    instances = frozenset(overlay.instances())
+    links = {}
+    for inst in overlay.instances():
+        for link in overlay.out_links(inst):
+            links[(link.src, link.dst)] = link.metrics
+    return instances, links
+
+
+class TestReviveLinks:
+    def test_restores_exact_metrics(self, overlay):
+        degraded = degrade_links(
+            overlay, [(SRC, MID1)], bandwidth_factor=0.3, latency_factor=3.0
+        )
+        revived = revive_links(degraded, overlay, [(SRC, MID1)])
+        assert _link_state(revived) == _link_state(overlay)
+
+    def test_unknown_victim_rejected(self, overlay):
+        with pytest.raises(KeyError):
+            revive_links(overlay, overlay, [(SRC, DST)])
+
+    def test_victim_missing_from_reference_rejected(self, overlay):
+        smaller = fail_links(overlay, [(SRC, MID1)])
+        with pytest.raises(KeyError, match="reference"):
+            revive_links(overlay, smaller, [(SRC, MID1)])
+
+    def test_untouched_links_keep_current_metrics(self, overlay):
+        degraded = degrade_links(
+            overlay, [(SRC, MID1), (MID1, DST)], bandwidth_factor=0.5
+        )
+        revived = revive_links(degraded, overlay, [(SRC, MID1)])
+        # Only the named victim is restored; the other stays degraded.
+        assert revived.link(SRC, MID1).metrics == overlay.link(SRC, MID1).metrics
+        assert revived.link(MID1, DST).metrics == degraded.link(MID1, DST).metrics
+
+
+class TestDegradeReviveRoundTrip:
+    """Satellite property: degrade -> revive is the identity on overlay
+    state, and every step moves the route oracle's epoch forward within
+    one lineage."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        victims=st.lists(
+            st.sampled_from(_ALL_LINKS), unique=True, min_size=1
+        ),
+        bandwidth_factor=st.floats(
+            min_value=0.01, max_value=1.0, allow_nan=False
+        ),
+        latency_factor=st.floats(
+            min_value=1.0, max_value=10.0, allow_nan=False
+        ),
+    )
+    def test_round_trip_is_identity_and_bumps_epoch(
+        self, victims, bandwidth_factor, latency_factor
+    ):
+        overlay = _build_overlay()
+        oracle = RouteOracle.default()
+        before = _link_state(overlay)
+        degraded = degrade_links(
+            overlay,
+            victims,
+            bandwidth_factor=bandwidth_factor,
+            latency_factor=latency_factor,
+        )
+        revived = revive_links(degraded, overlay, victims)
+        # Identity on overlay state (exact, not approximate: metrics are
+        # copied from the reference, never recomputed).
+        assert _link_state(revived) == before
+        assert _link_state(overlay) == before  # inputs never mutated
+        # Oracle bookkeeping: one lineage, strictly advancing epochs.
+        lineages = {
+            oracle.lineage(overlay),
+            oracle.lineage(degraded),
+            oracle.lineage(revived),
+        }
+        assert len(lineages) == 1
+        assert (
+            oracle.epoch(overlay)
+            < oracle.epoch(degraded)
+            < oracle.epoch(revived)
+        )
+
+
+class TestChannelFault:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            ChannelFault(loss_rate=1.0)
+        with pytest.raises(ValueError):
+            ChannelFault(duplicate_rate=-0.1)
+        with pytest.raises(ValueError):
+            ChannelFault(reorder_spread=0.0)
+        with pytest.raises(ValueError):
+            ChannelFault(start=5.0, end=5.0)
+
+    def test_wildcard_matches_any_pair_in_window(self):
+        fault = ChannelFault(loss_rate=0.1, start=10.0, end=20.0)
+        assert fault.matches(SRC, MID1, 10.0)
+        assert fault.matches(MID2, DST, 19.9)
+        assert not fault.matches(SRC, MID1, 9.9)
+        assert not fault.matches(SRC, MID1, 20.0)
+
+    def test_endpoint_pinning(self):
+        fault = ChannelFault(loss_rate=0.1, src=SRC, dst=MID1)
+        assert fault.matches(SRC, MID1, 0.0)
+        assert not fault.matches(SRC, MID2, 0.0)
+        assert not fault.matches(MID1, SRC, 0.0)
+
+
+class TestStragglerNode:
+    def test_slowdown_validated(self):
+        with pytest.raises(ValueError):
+            StragglerNode(MID1, slowdown=0.5)
+        with pytest.raises(ValueError):
+            StragglerNode(MID1, extra=-1.0)
+
+    def test_touches_either_endpoint(self):
+        straggler = StragglerNode(MID1, slowdown=3.0)
+        assert straggler.touches(MID1, DST, 0.0)
+        assert straggler.touches(SRC, MID1, 0.0)
+        assert not straggler.touches(SRC, MID2, 0.0)
+
+    def test_extra_delay_scales_latency(self):
+        straggler = StragglerNode(MID1, slowdown=3.0, extra=2.0)
+        assert straggler.extra_delay(5.0) == pytest.approx(12.0)
+        # slowdown of exactly 1 is a pure flat-delay straggler
+        flat = StragglerNode(MID1, slowdown=1.0, extra=2.0)
+        assert flat.extra_delay(5.0) == pytest.approx(2.0)
+
+
+class TestLinkDegradationRamp:
+    def test_factor_ramps_linearly_to_floor(self):
+        ramp = LinkDegradationRamp(
+            SRC, MID1, start=10.0, duration=10.0, floor_factor=0.4
+        )
+        assert ramp.factor_at(0.0) == pytest.approx(1.0)
+        assert ramp.factor_at(10.0) == pytest.approx(1.0)
+        assert ramp.factor_at(15.0) == pytest.approx(0.7)
+        assert ramp.factor_at(20.0) == pytest.approx(0.4)
+        assert ramp.factor_at(1000.0) == pytest.approx(0.4)
+
+    def test_floor_validated(self):
+        with pytest.raises(ValueError):
+            LinkDegradationRamp(SRC, MID1, start=0.0, duration=1.0, floor_factor=0.0)
+        with pytest.raises(ValueError):
+            LinkDegradationRamp(SRC, MID1, start=0.0, duration=1.0, floor_factor=1.5)
+        with pytest.raises(ValueError):
+            LinkDegradationRamp(SRC, MID1, start=0.0, duration=0.0, floor_factor=0.5)
+
+
+class TestLinkFlap:
+    def test_duty_cycle(self):
+        flap = LinkFlap(SRC, MID1, period=10.0, down_fraction=0.3, start=0.0)
+        assert flap.down_at(SRC, MID1, 0.0)
+        assert flap.down_at(SRC, MID1, 2.9)
+        assert not flap.down_at(SRC, MID1, 3.0)
+        assert not flap.down_at(SRC, MID1, 9.9)
+        assert flap.down_at(SRC, MID1, 10.0)  # next cycle
+
+    def test_only_named_directed_pair(self):
+        flap = LinkFlap(SRC, MID1, period=10.0, down_fraction=0.5)
+        assert not flap.down_at(MID1, SRC, 1.0)
+        assert not flap.down_at(SRC, MID2, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkFlap(SRC, MID1, period=0.0)
+        with pytest.raises(ValueError):
+            LinkFlap(SRC, MID1, down_fraction=1.0)
+
+
+class TestPartitionEvent:
+    def test_separates_cut_crossing_pairs_until_heal(self):
+        partition = PartitionEvent(members=(MID1,), start=5.0, heal_at=15.0)
+        assert partition.separates(SRC, MID1, 5.0)
+        assert partition.separates(MID1, DST, 10.0)
+        assert not partition.separates(SRC, MID2, 10.0)  # same side
+        assert not partition.separates(SRC, MID1, 15.0)  # healed
+        assert not partition.separates(SRC, MID1, 4.9)  # not yet
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PartitionEvent(members=(), start=0.0, heal_at=1.0)
+        with pytest.raises(ValueError):
+            PartitionEvent(members=(MID1, MID1), start=0.0, heal_at=1.0)
+        with pytest.raises(ValueError):
+            PartitionEvent(members=(MID1,), start=1.0, heal_at=1.0)
+
+
+class TestGrayFaultPlan:
+    def test_inactive_when_empty(self, overlay):
+        plan = GrayFaultPlan()
+        assert not plan.active
+        assert not ChaosPlan(gray=plan).active
+        assert ChaosPlan(gray=GrayFaultPlan(
+            stragglers=(StragglerNode(MID1),)
+        )).active
+
+    def test_validate_against_reports_every_problem(self, overlay):
+        ghost = ServiceInstance("ghost", 9)
+        plan = GrayFaultPlan(
+            stragglers=(StragglerNode(ghost),),
+            ramps=(
+                LinkDegradationRamp(
+                    SRC, DST, start=0.0, duration=1.0, floor_factor=0.5
+                ),
+            ),
+        )
+        with pytest.raises(SFlowError) as excinfo:
+            plan.validate_against(overlay)
+        assert "straggler" in str(excinfo.value)
+        assert "ramp" in str(excinfo.value)
+
+    def test_bandwidth_factor_multiplies_matching_ramps(self, overlay):
+        plan = GrayFaultPlan(
+            ramps=(
+                LinkDegradationRamp(
+                    SRC, MID1, start=0.0, duration=10.0, floor_factor=0.5
+                ),
+                LinkDegradationRamp(
+                    SRC, MID1, start=0.0, duration=10.0, floor_factor=0.5
+                ),
+            )
+        )
+        assert plan.bandwidth_factor(SRC, MID1, 1000.0) == pytest.approx(0.25)
+        assert plan.bandwidth_factor(MID1, DST, 1000.0) == pytest.approx(1.0)
+
+    def test_faulty_instances_collects_stragglers_and_partitions(self):
+        plan = GrayFaultPlan(
+            stragglers=(StragglerNode(MID1),),
+            partitions=(
+                PartitionEvent(members=(MID2,), start=0.0, heal_at=10.0),
+            ),
+        )
+        assert plan.faulty_instances() == frozenset({MID1, MID2})
+
+
+class TestGrayPlanInjector:
+    def test_zero_intensity_is_inactive(self, overlay):
+        injector = FailureInjector(random.Random(0))
+        plan = injector.gray_plan(overlay, intensity=0.0, seed=3)
+        assert not plan.active
+        assert plan.seed == 3
+
+    def test_intensity_scales_fault_population(self, overlay):
+        scenario = travel_agency_scenario()
+        mild = FailureInjector(random.Random(0)).gray_plan(
+            scenario.overlay, intensity=0.2, seed=1
+        )
+        harsh = FailureInjector(random.Random(0)).gray_plan(
+            scenario.overlay, intensity=0.9, seed=1
+        )
+        assert mild.active and harsh.active
+        assert len(harsh.gray.stragglers) >= len(mild.gray.stragglers)
+        assert len(harsh.gray.ramps) >= len(mild.gray.ramps)
+        assert harsh.gray.channel_faults[0].loss_rate > (
+            mild.gray.channel_faults[0].loss_rate
+        )
+
+    def test_same_seed_same_plan(self):
+        scenario = travel_agency_scenario()
+        plans = [
+            FailureInjector(random.Random(42)).gray_plan(
+                scenario.overlay, intensity=0.6, heal_after=20.0, seed=9
+            )
+            for _ in range(2)
+        ]
+        assert plans[0] == plans[1]
+
+    def test_protected_instances_never_straggle_or_partition(self):
+        scenario = travel_agency_scenario()
+        protected = scenario.source_instance
+        for seed in range(5):
+            plan = FailureInjector(
+                random.Random(seed), protect=[protected]
+            ).gray_plan(
+                scenario.overlay, intensity=1.0 - 1e-9, heal_after=20.0, seed=seed
+            )
+            assert protected not in plan.gray.faulty_instances()
+
+    def test_plan_validates_against_its_overlay(self):
+        scenario = travel_agency_scenario()
+        plan = FailureInjector(random.Random(3)).gray_plan(
+            scenario.overlay, intensity=0.7, heal_after=10.0, seed=2
+        )
+        plan.gray.validate_against(scenario.overlay)  # must not raise
+
+    def test_invalid_intensity_rejected(self, overlay):
+        injector = FailureInjector(random.Random(0))
+        with pytest.raises(ValueError):
+            injector.gray_plan(overlay, intensity=1.5)
+        with pytest.raises(ValueError):
+            injector.gray_plan(overlay, intensity=-0.1)

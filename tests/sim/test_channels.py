@@ -3,7 +3,13 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.channels import Envelope, Mailbox, MessageNetwork
+from repro.sim.channels import (
+    NO_EFFECT,
+    ChannelEffect,
+    Envelope,
+    Mailbox,
+    MessageNetwork,
+)
 from repro.sim.engine import Environment
 
 
@@ -287,3 +293,91 @@ class TestJitter:
         net.register("dst")
         with pytest.raises(SimulationError, match="jitter"):
             net.send("src", "dst", "x", latency=1.0)
+
+
+class TestGrayModel:
+    """Transport-level gray faults via MessageNetwork.install_gray."""
+
+    @staticmethod
+    def _network_with(effect_fn):
+        env = Environment()
+        net = MessageNetwork(env)
+        box = net.register("dst")
+        net.install_gray(effect_fn)
+        return env, net, box
+
+    @staticmethod
+    def _drain(env, box):
+        got = []
+
+        def receiver():
+            while True:
+                envelope = yield box.get()
+                got.append((env.now, envelope.payload))
+
+        env.process(receiver())
+        env.run()
+        return got
+
+    def test_blocked_counts_partition_not_loss(self):
+        env, net, box = self._network_with(
+            lambda s, d, e, now, lat: ChannelEffect(blocked=True)
+        )
+        net.send("src", "dst", "x", latency=1.0)
+        assert self._drain(env, box) == []
+        assert net.stats.partition_blocked == 1
+        assert net.stats.lost == 0
+
+    def test_drop_counts_as_loss(self):
+        env, net, box = self._network_with(
+            lambda s, d, e, now, lat: ChannelEffect(drop=True)
+        )
+        net.send("src", "dst", "x", latency=1.0)
+        assert self._drain(env, box) == []
+        assert net.stats.lost == 1
+        assert net.stats.partition_blocked == 0
+
+    def test_extra_delay_postpones_delivery(self):
+        env, net, box = self._network_with(
+            lambda s, d, e, now, lat: ChannelEffect(extra_delay=3.0)
+        )
+        net.send("src", "dst", "x", latency=2.0)
+        assert self._drain(env, box) == [(5.0, "x")]
+        assert net.stats.reordered == 0
+
+    def test_reordered_delay_is_counted(self):
+        env, net, box = self._network_with(
+            lambda s, d, e, now, lat: (
+                ChannelEffect(extra_delay=9.0, reordered=True)
+                if e.payload == "first"
+                else NO_EFFECT
+            )
+        )
+        net.send("src", "dst", "first", latency=1.0)
+        net.send("src", "dst", "second", latency=1.0)
+        got = self._drain(env, box)
+        assert got == [(1.0, "second"), (10.0, "first")]
+        assert net.stats.reordered == 1
+
+    def test_duplicates_deliver_extra_copies(self):
+        env, net, box = self._network_with(
+            lambda s, d, e, now, lat: ChannelEffect(duplicate_delays=(2.0,))
+        )
+        net.send("src", "dst", "x", latency=1.0)
+        assert self._drain(env, box) == [(1.0, "x"), (3.0, "x")]
+        assert net.stats.duplicated == 1
+
+    def test_install_none_uninstalls(self):
+        env, net, box = self._network_with(
+            lambda s, d, e, now, lat: ChannelEffect(drop=True)
+        )
+        net.install_gray(None)
+        net.send("src", "dst", "x", latency=1.0)
+        assert self._drain(env, box) == [(1.0, "x")]
+        assert net.stats.lost == 0
+
+    def test_effect_validation(self):
+        with pytest.raises(SimulationError):
+            ChannelEffect(extra_delay=-1.0)
+        with pytest.raises(SimulationError):
+            ChannelEffect(duplicate_delays=(-0.5,))

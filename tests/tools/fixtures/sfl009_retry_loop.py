@@ -1,0 +1,45 @@
+# sflow: module=repro.sim.fixture
+"""Seeded fixture: SFL009 fires on unbounded retransmission loops only."""
+
+
+def bad_bare_retry(env, channel, envelope):
+    while True:  # SFL009 -- sends + waits, no escape
+        channel.send(envelope)
+        yield env.timeout(10.0)
+
+
+def bad_nested_retransmit(env, node, pin):
+    while True:  # SFL009 -- the send hides inside a conditional
+        if node.suspects(pin.target):
+            node.retransmit(pin)
+        yield env.timeout(node.backoff)
+
+
+def ok_bounded_attempts(env, channel, envelope, policy, rng):
+    for attempt in range(policy.max_attempts):
+        channel.send(envelope)
+        yield env.timeout(policy.delay(attempt, rng))
+
+
+def ok_escape_on_ack(env, channel, envelope, acked):
+    while True:
+        channel.send(envelope)
+        yield env.timeout(10.0)
+        if acked():
+            break
+
+
+def ok_wait_only(env, ticker):
+    while True:
+        ticker.poll(env.now)
+        yield env.timeout(30.0)
+
+
+def ok_helper_scope_is_skipped(env, channel, envelope):
+    while True:
+        def resend():  # never called from loop accounting
+            channel.send(envelope)
+
+        yield env.timeout(5.0)
+        if env.now > 100.0:
+            return resend

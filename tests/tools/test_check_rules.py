@@ -91,6 +91,12 @@ def test_sfl008_fixture_fires_on_mutable_defaults():
     assert fixture_codes("sfl008_mutable_default.py") == ["SFL008"] * 2
 
 
+def test_sfl009_fixture_fires_on_unbounded_retry_loops_only():
+    violations = check_file(FIXTURES / "sfl009_retry_loop.py")
+    assert codes_in(violations) == ["SFL009"] * 2
+    assert [v.line for v in violations] == [6, 12]
+
+
 def test_suppression_fixture_waives_with_justification_only():
     violations = check_file(FIXTURES / "suppressions.py")
     # waived(): suppressed cleanly.  bare_waiver(): SFL000 (no reason) and
