@@ -30,6 +30,7 @@ from repro.core.sflow import SFlowAlgorithm, SFlowConfig
 from repro.errors import FederationError
 from repro.obs import metrics as obs_metrics
 from repro.obs.clock import Stopwatch
+from repro.routing.oracle import RouteOracle
 from repro.services.flowgraph import ServiceFlowGraph
 from repro.services.requirement import RequirementClass
 from repro.services.workloads import Scenario, ScenarioConfig, generate_scenario
@@ -270,6 +271,53 @@ def resolve_workers(workers: int, cells: int) -> int:
     return min(workers, cells)
 
 
+def _pool_context():
+    """The multiprocessing context evaluation pools run under.
+
+    ``fork`` whenever the platform offers it: workers then inherit the
+    parent's memory copy-on-write -- in particular the process-wide
+    :class:`~repro.routing.oracle.RouteOracle` with every tree and CSR
+    snapshot the parent already warmed, so a fan-out starts from the
+    parent's cache instead of five cold ones.  Platforms without fork
+    (Windows, macOS spawn default) fall back to the default context and
+    start cold; the *results* are identical either way, only the warm-up
+    cost differs.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform without fork
+        return multiprocessing.get_context()
+
+
+def _oracle_handoff() -> Tuple[bool, bool, int, int]:
+    """The parent oracle's configuration, shipped to pool initializers."""
+    oracle = RouteOracle.default()
+    return (
+        oracle.enabled,
+        oracle.use_kernel,
+        oracle.kernel_min_nodes,
+        oracle.max_entries,
+    )
+
+
+def _init_worker(handoff: Tuple[bool, bool, int, int]) -> None:
+    """Pool initializer: align the worker's oracle with the parent's.
+
+    Under fork the worker already inherits the parent's oracle object
+    (cache, snapshots and all); under spawn it starts fresh.  Either way
+    the parent's *configuration* -- the enabled/kernel switches the perf
+    harness A/Bs -- must override defaults, or a pooled sweep would
+    quietly measure the wrong arm while the serial one measured the
+    right one.
+    """
+    enabled, use_kernel, kernel_min_nodes, max_entries = handoff
+    oracle = RouteOracle.default()
+    oracle.enabled = enabled
+    oracle.use_kernel = use_kernel
+    oracle.kernel_min_nodes = kernel_min_nodes
+    oracle.max_entries = max_entries
+
+
 def map_cells(worker, payloads: List, workers: int) -> List:
     """Deterministically map ``worker`` over cell payloads.
 
@@ -277,11 +325,16 @@ def map_cells(worker, payloads: List, workers: int) -> List:
     same order the serial loop produces -- so the only difference between
     the two paths is wall-clock time.  Each cell reseeds from its payload,
     never from global state, which makes the fan-out bit-reproducible.
+    Pools fork (:func:`_pool_context`) and re-apply the parent oracle's
+    configuration in every worker (:func:`_init_worker`).
     """
     pool_size = resolve_workers(workers, len(payloads))
     if pool_size == 0:
         return [worker(payload) for payload in payloads]
-    with multiprocessing.get_context().Pool(pool_size) as pool:
+    ctx = _pool_context()
+    with ctx.Pool(
+        pool_size, initializer=_init_worker, initargs=(_oracle_handoff(),)
+    ) as pool:
         return pool.map(worker, payloads, chunksize=1)
 
 
@@ -323,7 +376,10 @@ def map_cells_with_metrics(
     if pool_size == 0:
         results = [metered(payload) for payload in payloads]
     else:
-        with multiprocessing.get_context().Pool(pool_size) as pool:
+        ctx = _pool_context()
+        with ctx.Pool(
+            pool_size, initializer=_init_worker, initargs=(_oracle_handoff(),)
+        ) as pool:
             results = pool.map(metered, payloads, chunksize=1)
     merged: Dict[str, dict] = {}
     for _, delta in results:

@@ -168,6 +168,13 @@ class OverlayGraph:
                 f"got {underlay_routing!r}"
             )
         oracle = RouteOracle.default()
+        # Batched prefetch: one CSR snapshot of the underlay serves every
+        # distinct host in one kernel pass; the per-instance lookups below
+        # then hit the cache.
+        oracle.warm(
+            underlay, (a.nid for a in instances), order=order,
+            view="neighbors", neighbors=underlay.neighbors,
+        )
         for a in instances:
             labels = oracle.tree(
                 underlay, a.nid, order=order, view="neighbors",
@@ -191,6 +198,15 @@ class OverlayGraph:
     def instances(self) -> Iterator[ServiceInstance]:
         """All instances in deterministic (sid, nid) order."""
         return iter(sorted(self._out))
+
+    def routing_nodes(self) -> Tuple[ServiceInstance, ...]:
+        """Snapshot-export hook: the node universe of the routing views.
+
+        The routing kernel (:mod:`repro.routing.kernel`) flattens the
+        ``successors`` adjacency over exactly this universe when building
+        a CSR snapshot for batched tree computation.
+        """
+        return tuple(sorted(self._out))
 
     def __contains__(self, instance: ServiceInstance) -> bool:
         return instance in self._out

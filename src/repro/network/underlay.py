@@ -154,6 +154,15 @@ class Underlay:
     def nodes(self) -> Iterator[NodeId]:
         return iter(range(self._n))
 
+    def routing_nodes(self) -> Tuple[NodeId, ...]:
+        """Snapshot-export hook: the node universe of the routing views.
+
+        The routing kernel (:mod:`repro.routing.kernel`) flattens the
+        ``neighbors`` adjacency over exactly this universe when building
+        a CSR snapshot for batched tree computation.
+        """
+        return tuple(range(self._n))
+
     def links(self) -> Sequence[UnderlayLink]:
         return tuple(self._links)
 

@@ -9,9 +9,13 @@
 * :mod:`repro.routing.oracle` -- the process-wide, topology-epoch-aware
   cache of per-source routing trees that amortises the Wang-Crowcroft cost
   across requests, probes and algorithms.
+* :mod:`repro.routing.kernel` -- the vectorized CSR kernel behind the
+  oracle's cold path: batched, bit-identical Wang-Crowcroft tree builds
+  over flattened numpy adjacency snapshots.
 """
 
 from repro.routing.distance_vector import DistanceVectorReport, run_distance_vector
+from repro.routing.kernel import CSRGraph, batched_trees
 from repro.routing.link_state import LinkStateReport, collect_local_views
 from repro.routing.oracle import OracleStats, RouteOracle
 from repro.routing.wang_crowcroft import (
@@ -25,10 +29,12 @@ from repro.routing.wang_crowcroft import (
 )
 
 __all__ = [
+    "CSRGraph",
     "DistanceVectorReport",
     "LinkStateReport",
     "OracleStats",
     "RouteOracle",
+    "batched_trees",
     "collect_local_views",
     "run_distance_vector",
     "RouteLabel",

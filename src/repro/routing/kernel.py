@@ -1,0 +1,568 @@
+"""Vectorized CSR routing kernel: batched Wang-Crowcroft tree builds.
+
+The pure-Python tree functions in :mod:`repro.routing.wang_crowcroft` pay
+for their generality on every relaxation: a frozen ``PathQuality``
+dataclass per candidate, ``repr``-based tie comparisons, generator-backed
+adjacency (``OverlayGraph.successors`` even re-sorts the neighbour dict on
+every visit) and hashing of rich node objects.  For the cold paths that
+dominate large campaigns -- every source of an abstract-graph build,
+every host of an overlay build -- that constant factor is the wall-clock.
+
+This module flattens one adjacency view into a **CSR snapshot**
+(:class:`CSRGraph`): ``indptr``/``indices``/``bandwidth``/``latency``
+numpy arrays plus a stable node-interning table, and re-runs the exact
+two-phase shortest-widest scheme (and the single-pass widest-shortest
+dual) against primitive arrays:
+
+* per-source Dijkstras still use a binary heap, but heap entries are
+  plain ``(float, int, int)`` tuples over interned node indices;
+* each row's usable edges are laid out **bandwidth-descending**, so the
+  phase-2 *distinct-bandwidth* sweeps walk the threshold subgraph by
+  breaking out of a row as soon as an edge falls below the threshold --
+  one shared layout serves every threshold of every source with zero
+  per-threshold materialisation;
+* phase-2 sweeps early-terminate once every node whose bottleneck equals
+  the threshold has been settled (settled Dijkstra labels are final, so
+  the extracted labels equal the exhaustive computation's).
+
+**Exactness contract.**  :func:`batched_trees` is bit-identical to
+per-source :func:`~repro.routing.wang_crowcroft.shortest_widest_tree` /
+:func:`~repro.routing.wang_crowcroft.widest_shortest_tree` calls: same
+label values, same deterministic tie-breaks (bandwidth, latency, hops,
+lexicographically smallest path under ``repr`` order).  Two facts make
+that possible without replicating heap insertion order:
+
+1. the pure functions' results are *intrinsic* -- every candidate that
+   can improve a node's label is offered from a predecessor whose heap
+   key is strictly smaller (latency extensions are non-negative and
+   bandwidth ties are part of the key), so the final labels depend only
+   on the strict tie-break order, never on same-key pop order or on
+   neighbour iteration order (which is why the bandwidth-descending
+   row layout is sound); and
+2. nodes are interned in ``repr``-sorted rank order, so comparing
+   interned-index path tuples is equivalent to the pure functions'
+   ``[repr(n) for n in path]`` comparisons (the snapshot refuses to
+   build when ``repr`` is not injective over the node set).
+
+Float arithmetic is identical because a path's latency accumulates
+left-to-right along the same edges in both implementations.
+
+``numpy`` is an optional dependency of this module alone: when it is
+missing, :data:`HAVE_NUMPY` is False, :func:`snapshot` returns ``None``
+and the :class:`~repro.routing.oracle.RouteOracle` falls back to the
+pure-Python path.  The kernel draws no random numbers (rule SFL010
+guards the package against ambient numpy RNG use).
+
+Property-tested label-for-label against the pure implementations in
+``tests/routing/test_kernel.py`` over seeded Waxman/ER/BA overlays,
+including unreachable and zero-bandwidth links.
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heappop, heappush
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.network.metrics import IDEAL, PathQuality
+from repro.routing.wang_crowcroft import NeighborFn, Node, RouteLabel
+
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container ships numpy
+    _np = None  # type: ignore[assignment]
+
+#: Whether the vectorized kernel is usable in this process.
+HAVE_NUMPY: bool = _np is not None
+
+#: Orders the kernel can compute (mirrors :mod:`repro.routing.oracle`).
+SHORTEST_WIDEST = "shortest_widest"
+WIDEST_SHORTEST = "widest_shortest"
+
+_INF = math.inf
+
+#: The usable-edge adjacency: ``(indptr, indices, latency, bandwidth)``
+#: python lists (lists, not ndarrays: the per-source heap loops index
+#: them far faster than boxed numpy scalars).  Within each row, edges
+#: are sorted bandwidth-descending so a threshold sweep can ``break``
+#: out of the row at the first disqualified edge.
+_UsableCSR = Tuple[List[int], List[int], List[float], List[float]]
+
+
+class CSRGraph:
+    """A frozen CSR snapshot of one adjacency view of one graph epoch.
+
+    Nodes are interned in ``repr``-sorted *rank order* (see the module
+    docstring); ``index`` maps node -> rank and ``nodes[rank]`` maps
+    back.  Edge slot ``j`` of node ``i`` lives at positions
+    ``indptr[i] <= j < indptr[i + 1]`` of ``indices``/``bandwidth``/
+    ``latency``.  Instances are immutable once built; the oracle keys
+    them by ``(lineage, epoch, view)`` so a snapshot can never outlive
+    its topology epoch.
+    """
+
+    __slots__ = (
+        "nodes",
+        "index",
+        "indptr",
+        "indices",
+        "bandwidth",
+        "latency",
+        "_usable_view",
+        "_min_usable_bw",
+    )
+
+    def __init__(
+        self,
+        nodes: Tuple[Node, ...],
+        indptr: "Any",
+        indices: "Any",
+        bandwidth: "Any",
+        latency: "Any",
+    ) -> None:
+        self.nodes = nodes
+        self.index: Dict[Node, int] = {node: i for i, node in enumerate(nodes)}
+        self.indptr = indptr
+        self.indices = indices
+        self.bandwidth = bandwidth
+        self.latency = latency
+        # An edge is usable iff a pure-Python relaxation would keep it:
+        # positive bandwidth and finite latency (PathQuality.reachable).
+        usable = (bandwidth > 0.0) & _np.isfinite(latency)
+        keep = _np.flatnonzero(usable)
+        rows = _np.searchsorted(indptr, keep, side="right") - 1
+        # Within each row, lay usable edges out bandwidth-descending:
+        # the threshold-``w`` subgraph of every phase-2 sweep is then a
+        # per-row prefix, walked with an early ``break`` -- one layout
+        # serves every threshold of every source (final labels do not
+        # depend on neighbour order; see the module docstring).
+        order = keep[_np.lexsort((-bandwidth[keep], rows))]
+        counts = _np.bincount(rows, minlength=len(nodes))
+        u_indptr = _np.zeros(len(nodes) + 1, dtype=_np.int64)
+        _np.cumsum(counts, out=u_indptr[1:])
+        sorted_bw = bandwidth[order]
+        self._usable_view: _UsableCSR = (
+            u_indptr.tolist(),
+            indices[order].tolist(),
+            latency[order].tolist(),
+            sorted_bw.tolist(),
+        )
+        self._min_usable_bw: float = (
+            float(sorted_bw.min()) if len(sorted_bw) else 0.0
+        )
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_adjacency(
+        cls,
+        nodes: Iterable[Node],
+        neighbors: NeighborFn,
+    ) -> "CSRGraph":
+        """Snapshot ``neighbors`` over the ``nodes`` universe.
+
+        Raises:
+            ValueError: when ``repr`` is not injective over ``nodes`` (the
+                tie-break equivalence would be unsound) or a neighbour
+                falls outside the universe.
+        """
+        node_list = list(nodes)
+        reprs = [repr(node) for node in node_list]
+        if len(set(reprs)) != len(node_list):
+            raise ValueError("node reprs are not unique; cannot intern")
+        ranked = sorted(range(len(node_list)), key=lambda i: reprs[i])
+        interned: Tuple[Node, ...] = tuple(node_list[i] for i in ranked)
+        index = {node: i for i, node in enumerate(interned)}
+        indptr = [0]
+        out_indices: List[int] = []
+        out_bw: List[float] = []
+        out_lat: List[float] = []
+        for node in interned:
+            for other, link in neighbors(node):
+                j = index.get(other)
+                if j is None:
+                    raise ValueError(
+                        f"neighbor {other!r} outside the snapshot universe"
+                    )
+                out_indices.append(j)
+                out_bw.append(link.bandwidth)
+                out_lat.append(link.latency)
+            indptr.append(len(out_indices))
+        return cls(
+            interned,
+            _np.asarray(indptr, dtype=_np.int64),
+            _np.asarray(out_indices, dtype=_np.int64),
+            _np.asarray(out_bw, dtype=_np.float64),
+            _np.asarray(out_lat, dtype=_np.float64),
+        )
+
+    @property
+    def n(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.indptr[-1])
+
+    def nbytes(self) -> int:
+        """Approximate array payload (observability, not accounting)."""
+        return int(
+            self.indptr.nbytes
+            + self.indices.nbytes
+            + self.bandwidth.nbytes
+            + self.latency.nbytes
+        )
+
+    # -- threshold views ---------------------------------------------------
+
+    def usable_view(self) -> _UsableCSR:
+        """The usable-edge adjacency, rows laid out bandwidth-descending.
+
+        A phase-2 sweep at threshold ``w`` walks each row until the
+        first edge with ``bandwidth < w`` and breaks -- the qualifying
+        edges of a row are always a prefix.  When ``w`` does not exceed
+        :attr:`min_usable_bandwidth`, every usable edge qualifies and
+        the sweep can skip the bandwidth test entirely.
+        """
+        return self._usable_view
+
+    @property
+    def min_usable_bandwidth(self) -> float:
+        """Smallest bandwidth among usable edges (0.0 when edgeless)."""
+        return self._min_usable_bw
+
+
+def snapshot(
+    graph: "Any",
+    neighbors: Optional[NeighborFn] = None,
+) -> Optional[CSRGraph]:
+    """Best-effort CSR snapshot of ``graph``'s adjacency.
+
+    The node universe comes from the graph's ``routing_nodes()`` export
+    hook (see :meth:`repro.network.overlay.OverlayGraph.routing_nodes`).
+    Returns ``None`` when numpy is unavailable, the graph exports no
+    universe, or interning fails -- callers fall back to the pure path.
+    """
+    if not HAVE_NUMPY:
+        return None
+    export = getattr(graph, "routing_nodes", None)
+    if export is None:
+        return None
+    if neighbors is None:
+        neighbors = getattr(graph, "successors", None)
+        if neighbors is None:
+            neighbors = getattr(graph, "neighbors", None)
+        if neighbors is None:
+            return None
+    try:
+        return CSRGraph.from_adjacency(export(), neighbors)
+    except (ValueError, KeyError, TypeError):
+        return None
+
+
+# -- batched tree computation -------------------------------------------------
+
+
+class _Scratch:
+    """Per-batch work arrays, reused across every sweep of a batch.
+
+    Validity is generation-stamped (``mark[v] == gen`` -> the slot holds
+    this sweep's value) so a new sweep costs one integer bump instead of
+    reallocating four n-sized lists.  One instance per :func:`batched_trees`
+    call -- never shared across threads.
+    """
+
+    __slots__ = ("lat", "bw", "hops", "paths", "mark", "sgen", "gen")
+
+    def __init__(self, n: int) -> None:
+        self.lat: List[float] = [_INF] * n
+        self.bw: List[float] = [0.0] * n
+        self.hops: List[int] = [0] * n
+        self.paths: List[Tuple[int, ...]] = [()] * n
+        self.mark: List[int] = [0] * n  # label-validity stamp
+        self.sgen: List[int] = [0] * n  # settled stamp
+        self.gen = 0
+
+    def next_gen(self) -> int:
+        self.gen += 1
+        return self.gen
+
+
+def batched_trees(
+    csr: CSRGraph,
+    sources: Sequence[Node],
+    *,
+    order: str = SHORTEST_WIDEST,
+) -> List[Dict[Node, RouteLabel]]:
+    """Routing trees for many sources against one CSR snapshot.
+
+    Returns one label dict per source (same order as ``sources``),
+    bit-identical to the pure per-source functions.  Sources missing
+    from the snapshot raise ``KeyError`` -- the snapshot and the graph
+    disagree, which callers must treat as a snapshot miss.
+    """
+    if order == SHORTEST_WIDEST:
+        builder: Callable[
+            [CSRGraph, int, _Scratch], Dict[Node, RouteLabel]
+        ] = _shortest_widest_csr
+    elif order == WIDEST_SHORTEST:
+        builder = _widest_shortest_csr
+    else:
+        raise ValueError(f"unknown tree order {order!r}")
+    scratch = _Scratch(csr.n)
+    out: List[Dict[Node, RouteLabel]] = []
+    for source in sources:
+        out.append(builder(csr, csr.index[source], scratch))
+    return out
+
+
+def _shortest_widest_csr(
+    csr: CSRGraph, src: int, scratch: _Scratch
+) -> Dict[Node, RouteLabel]:
+    """The two-phase Wang-Crowcroft scheme on interned arrays."""
+    width = _widest_widths(csr, src)
+    n = csr.n
+    nodes = csr.nodes
+    labels: Dict[Node, RouteLabel] = {
+        nodes[src]: RouteLabel(IDEAL, 0, (nodes[src],))
+    }
+    by_width: Dict[float, List[int]] = {}
+    for v in range(n):
+        w = width[v]
+        if v != src and w > 0.0:
+            by_width.setdefault(w, []).append(v)
+    lat, hops, paths, mark = scratch.lat, scratch.hops, scratch.paths, scratch.mark
+    for w in sorted(by_width, reverse=True):
+        members = by_width[w]
+        g = _latency_tree(csr, src, w, members, scratch)
+        for v in members:
+            if mark[v] != g:  # pragma: no cover - phase 1 guarantees reach
+                continue
+            labels[nodes[v]] = RouteLabel(
+                PathQuality(w, lat[v]),
+                hops[v],
+                tuple(nodes[i] for i in paths[v]),
+            )
+    return labels
+
+
+def _widest_widths(csr: CSRGraph, src: int) -> List[float]:
+    """Phase 1: max-bottleneck bandwidth from ``src`` to every node."""
+    indptr, indices, _, ebw = csr.usable_view()
+    width = [0.0] * csr.n
+    width[src] = _INF
+    settled = bytearray(csr.n)
+    heap: List[Tuple[float, int]] = [(-_INF, src)]
+    while heap:
+        neg_w, u = heappop(heap)
+        if settled[u] or -neg_w < width[u]:
+            continue
+        settled[u] = 1
+        wu = width[u]
+        for j in range(indptr[u], indptr[u + 1]):
+            v = indices[j]
+            if settled[v]:
+                continue
+            b = ebw[j]
+            candidate = wu if wu < b else b
+            if candidate > width[v]:
+                width[v] = candidate
+                heappush(heap, (-candidate, v))
+    return width
+
+
+def _latency_tree(
+    csr: CSRGraph,
+    src: int,
+    min_bandwidth: float,
+    members: Sequence[int],
+    scratch: _Scratch,
+) -> int:
+    """Phase 2: min-latency Dijkstra over the ``>= w`` subgraph.
+
+    Early-terminates once every member (nodes whose bottleneck equals the
+    threshold) is settled; settled labels are final, so the extracted
+    member labels equal the exhaustive run's.  Ties on latency break by
+    hop count, then by lexicographically smallest interned path -- the
+    exact :func:`repro.routing.wang_crowcroft._lat_better` order.
+
+    Rows are bandwidth-descending, so the ``>= w`` subgraph is walked by
+    breaking out of each row at its first disqualified edge.
+
+    Results land in ``scratch``; the returned generation stamp marks the
+    valid slots (``scratch.mark[v] == gen``).
+    """
+    indptr, indices, elat, ebw = csr.usable_view()
+    g = scratch.next_gen()
+    lat, hops, paths = scratch.lat, scratch.hops, scratch.paths
+    mark, sgen = scratch.mark, scratch.sgen
+    lat[src] = 0.0
+    hops[src] = 0
+    paths[src] = (src,)
+    mark[src] = g
+    remaining = set(members)
+    remaining.discard(src)
+    heap: List[Tuple[float, int, int]] = [(0.0, 0, src)]
+    while heap:
+        ulat, uhops, u = heappop(heap)
+        if sgen[u] == g:
+            continue
+        if ulat != lat[u] or uhops != hops[u]:
+            continue  # stale entry
+        sgen[u] = g
+        remaining.discard(u)
+        if not remaining:
+            break
+        upath = paths[u]
+        for j in range(indptr[u], indptr[u + 1]):
+            if ebw[j] < min_bandwidth:
+                break  # rows are bandwidth-descending
+            v = indices[j]
+            if sgen[v] == g:
+                continue
+            clat = ulat + elat[j]
+            chops = uhops + 1
+            if mark[v] == g:
+                # _lat_better(): latency, then hops, then smallest path.
+                vlat = lat[v]
+                if clat != vlat:
+                    if clat > vlat:
+                        continue
+                elif chops != hops[v]:
+                    if chops > hops[v]:
+                        continue
+                else:
+                    cpath = upath + (v,)
+                    if cpath >= paths[v]:
+                        continue
+                    lat[v] = clat
+                    hops[v] = chops
+                    paths[v] = cpath
+                    heappush(heap, (clat, chops, v))
+                    continue
+            else:
+                mark[v] = g
+            lat[v] = clat
+            hops[v] = chops
+            paths[v] = upath + (v,)
+            heappush(heap, (clat, chops, v))
+    return g
+
+
+def _widest_shortest_csr(
+    csr: CSRGraph, src: int, scratch: _Scratch
+) -> Dict[Node, RouteLabel]:
+    """Single-pass widest-shortest Dijkstra on interned arrays.
+
+    Mirrors :func:`repro.routing.wang_crowcroft.widest_shortest_tree`:
+    the sort key is ``(latency, -bandwidth)``, ties break on hops then
+    smallest path.  Latency is primary, so one label per node is exact.
+    """
+    indptr, indices, elat, ebw = csr.usable_view()
+    nodes = csr.nodes
+    g = scratch.next_gen()
+    lat, bw, hops, paths = scratch.lat, scratch.bw, scratch.hops, scratch.paths
+    mark, sgen = scratch.mark, scratch.sgen
+    lat[src] = 0.0
+    bw[src] = _INF
+    hops[src] = 0
+    paths[src] = (src,)
+    mark[src] = g
+    reached: List[int] = [src]
+    heap: List[Tuple[float, float, int, int]] = [(0.0, -_INF, 0, src)]
+    while heap:
+        ulat, uneg_bw, uhops, u = heappop(heap)
+        if sgen[u] == g:
+            continue
+        if ulat != lat[u] or -uneg_bw != bw[u] or uhops != hops[u]:
+            continue  # stale
+        sgen[u] = g
+        ubw = bw[u]
+        upath = paths[u]
+        for j in range(indptr[u], indptr[u + 1]):
+            v = indices[j]
+            if sgen[v] == g:
+                continue
+            b = ebw[j]
+            cbw = ubw if ubw < b else b
+            clat = ulat + elat[j]
+            chops = uhops + 1
+            if mark[v] == g:
+                # better(): key (latency, -bandwidth), then hops, then
+                # smallest path.
+                vlat = lat[v]
+                vbw = bw[v]
+                if clat != vlat:
+                    if clat > vlat:
+                        continue
+                elif cbw != vbw:
+                    if cbw < vbw:
+                        continue
+                elif chops != hops[v]:
+                    if chops > hops[v]:
+                        continue
+                else:
+                    cpath = upath + (v,)
+                    if cpath >= paths[v]:
+                        continue
+                    lat[v] = clat
+                    bw[v] = cbw
+                    hops[v] = chops
+                    paths[v] = cpath
+                    heappush(heap, (clat, -cbw, chops, v))
+                    continue
+            else:
+                mark[v] = g
+                reached.append(v)
+            lat[v] = clat
+            bw[v] = cbw
+            hops[v] = chops
+            paths[v] = upath + (v,)
+            heappush(heap, (clat, -cbw, chops, v))
+    labels: Dict[Node, RouteLabel] = {}
+    for v in reached:
+        if v == src:
+            labels[nodes[src]] = RouteLabel(IDEAL, 0, (nodes[src],))
+            continue
+        labels[nodes[v]] = RouteLabel(
+            PathQuality(bw[v], lat[v]),
+            hops[v],
+            tuple(nodes[i] for i in paths[v]),
+        )
+    return labels
+
+
+def affected_sources(
+    trees: Dict[Node, Dict[Node, RouteLabel]],
+    touched_nodes: Set[Node],
+    touched_edges: Set[Tuple[Node, Node]],
+) -> Set[Node]:
+    """Sources whose cached tree traverses any touched element.
+
+    A helper for incremental repair decisions: a source whose tree never
+    crosses a degraded/removed element keeps its tree verbatim under a
+    restrictive mutation (removing options cannot improve any label).
+    """
+    hit: Set[Node] = set()
+    for source, labels in trees.items():
+        for label in labels.values():
+            path = label.path
+            if touched_nodes and not touched_nodes.isdisjoint(path):
+                hit.add(source)
+                break
+            if touched_edges and any(
+                (a, b) in touched_edges for a, b in zip(path, path[1:])
+            ):
+                hit.add(source)
+                break
+    return hit

@@ -66,6 +66,7 @@ from typing import (
 )
 
 from repro.obs import metrics as obs_metrics
+from repro.routing import kernel as _kernel
 from repro.routing.wang_crowcroft import (
     NeighborFn,
     Node,
@@ -96,6 +97,8 @@ class OracleStats:
     dropped: int = 0  # trees dropped by scoped invalidation
     invalidated: int = 0  # trees dropped by full (additive) invalidation
     evictions: int = 0  # LRU evictions
+    warmed: int = 0  # trees computed by a batched warm() prefetch
+    repaired: int = 0  # trees rebuilt by targeted repair, not full recompute
 
     @property
     def lookups(self) -> int:
@@ -141,6 +144,37 @@ class _Entry:
         return bool(self.nodes & touched_nodes) or bool(self.edges & touched_edges)
 
 
+class _PendingRepair:
+    """A tree dropped by scoped invalidation, kept for targeted repair.
+
+    ``labels`` is the pre-mutation tree; the touched sets accumulate every
+    restrictive mutation between the tree's epoch and the epoch it is
+    repaired at (chained failures union their touch sets).  Labels whose
+    paths avoid all touched elements are still exact -- a restrictive
+    mutation cannot improve any path -- so a repair recomputes only the
+    affected destinations via the tree functions' ``targets`` contract.
+    """
+
+    __slots__ = ("labels", "nodes", "edges")
+
+    def __init__(
+        self,
+        labels: Dict[Node, RouteLabel],
+        nodes: FrozenSet[Node],
+        edges: FrozenSet[Tuple[Node, Node]],
+    ) -> None:
+        self.labels = labels
+        self.nodes = nodes
+        self.edges = edges
+
+    def merged(
+        self,
+        nodes: FrozenSet[Node],
+        edges: FrozenSet[Tuple[Node, Node]],
+    ) -> "_PendingRepair":
+        return _PendingRepair(self.labels, self.nodes | nodes, self.edges | edges)
+
+
 class RouteOracle:
     """Topology-epoch-aware cache of per-source routing trees.
 
@@ -157,6 +191,8 @@ class RouteOracle:
         max_entries: int = 4096,
         *,
         enabled: bool = True,
+        use_kernel: bool = True,
+        kernel_min_nodes: int = 16,
         registry: Optional[obs_metrics.MetricsRegistry] = None,
     ) -> None:
         if max_entries < 1:
@@ -165,6 +201,14 @@ class RouteOracle:
         #: When False every lookup computes directly (no caching, no
         #: counters) -- the A/B switch the perf harness flips.
         self.enabled = enabled
+        #: Route cold misses through the vectorized CSR kernel when the
+        #: graph exports a snapshot (``routing_nodes``) and numpy is
+        #: available; results are bit-identical either way, so this is
+        #: purely a cost switch (the perf harness A/Bs it).
+        self.use_kernel = use_kernel and _kernel.HAVE_NUMPY
+        #: Below this node count the pure path wins (snapshot build cost
+        #: dominates); tiny ego views skip the kernel entirely.
+        self.kernel_min_nodes = kernel_min_nodes
         #: The counters live in a metrics registry (``oracle.*``): the
         #: process-wide registry for :meth:`default`, so registry
         #: snapshots and :meth:`stats` read the same storage; a private
@@ -198,6 +242,13 @@ class RouteOracle:
             "evictions": self._registry.counter(
                 "oracle.evictions", "LRU evictions"
             ),
+            "warmed": self._registry.counter(
+                "oracle.warmed", "trees computed by a batched warm() prefetch"
+            ),
+            "repaired": self._registry.counter(
+                "oracle.repaired",
+                "trees rebuilt by targeted repair instead of full recompute",
+            ),
         }
         self._lock = threading.RLock()
         self._meta: "weakref.WeakKeyDictionary[Any, _GraphMeta]" = (
@@ -210,6 +261,18 @@ class RouteOracle:
         #: ``(lineage, epoch) -> keys`` index for O(entries-of-graph)
         #: invalidation instead of full-cache scans.
         self._index: Dict[Tuple[int, int], Set[_CacheKey]] = {}
+        #: CSR snapshots keyed ``(lineage, epoch, view)`` -- a snapshot can
+        #: never serve a different topology epoch by construction.  ``None``
+        #: marks a graph that cannot be snapshotted (no export hook, too
+        #: small, non-injective reprs) so misses stop retrying.
+        self._snapshots: "OrderedDict[Tuple[int, int, str], Optional[_kernel.CSRGraph]]" = (
+            OrderedDict()
+        )
+        self._snapshots_max = 8
+        #: Trees dropped by scoped invalidation, kept (bounded, FIFO) for
+        #: targeted repair at their first post-mutation lookup.
+        self._repairs: "OrderedDict[_CacheKey, _PendingRepair]" = OrderedDict()
+        self._repair_index: Dict[Tuple[int, int], Set[_CacheKey]] = {}
 
     # -- singleton ---------------------------------------------------------
 
@@ -279,10 +342,84 @@ class RouteOracle:
                 self._counters["hits"].inc()
                 return entry.labels
             self._counters["misses"].inc()
-        labels = tree_fn(neighbors, source)
+            pending = self._pop_repair(key)
+        labels: Optional[Dict[Node, RouteLabel]] = None
+        if pending is not None:
+            labels = self._repair_labels(tree_fn, neighbors, source, pending)
+            if labels is not None:
+                self._counters["repaired"].inc()
+        if labels is None and self.use_kernel:
+            csr = self._snapshot_for(graph, key[0], key[1], view, neighbors)
+            if csr is not None and source in csr.index:
+                labels = _kernel.batched_trees(csr, (source,), order=order)[0]
+        if labels is None:
+            labels = tree_fn(neighbors, source)
         with self._lock:
             self._insert(key, _Entry(labels))
         return labels
+
+    def warm(
+        self,
+        graph: Any,
+        sources: Iterable[Node],
+        *,
+        order: str = SHORTEST_WIDEST,
+        view: str = "successors",
+        neighbors: Optional[NeighborFn] = None,
+    ) -> int:
+        """Batched prefetch: compute and cache trees for many sources.
+
+        The cold-path entry point of the vectorized kernel: one CSR
+        snapshot of ``graph`` is built (and cached per ``(lineage, epoch,
+        view)``), then every not-yet-cached source's tree is computed
+        against it in one batch, sharing the phase-2 threshold subgraphs
+        across sources.  Falls back to per-source pure computation when
+        the graph cannot be snapshotted.  Subsequent :meth:`tree` calls
+        for these sources are cache hits.
+
+        Returns the number of trees actually computed (0 when disabled or
+        everything was already cached).  Results are bit-identical to
+        :meth:`tree`, which is bit-identical to the pure functions.
+        """
+        tree_fn = _TREE_FN.get(order)
+        if tree_fn is None:
+            raise ValueError(f"unknown tree order {order!r}")
+        if not self.enabled:
+            return 0
+        if neighbors is None:
+            neighbors = getattr(graph, "successors", None) or graph.neighbors
+        with self._lock:
+            meta = self._meta_for(graph)
+            lineage, epoch = meta.lineage, meta.epoch
+            missing: list = []
+            seen: Set[Node] = set()
+            for source in sources:
+                if source in seen:
+                    continue
+                seen.add(source)
+                key = (lineage, epoch, view, order, source)
+                # Sources with a pending repair are cheaper to repair at
+                # their first tree() lookup than to recompute here.
+                if key in self._cache or key in self._repairs:
+                    continue
+                missing.append(source)
+        if not missing:
+            return 0
+        trees: Optional[list] = None
+        if self.use_kernel:
+            csr = self._snapshot_for(graph, lineage, epoch, view, neighbors)
+            if csr is not None and all(s in csr.index for s in missing):
+                trees = _kernel.batched_trees(csr, missing, order=order)
+        if trees is None:
+            trees = [tree_fn(neighbors, source) for source in missing]
+        with self._lock:
+            live = self._meta.get(graph)
+            if live is None or (live.lineage, live.epoch) != (lineage, epoch):
+                return 0  # graph mutated mid-computation; trees are stale
+            for source, labels in zip(missing, trees):
+                self._insert((lineage, epoch, view, order, source), _Entry(labels))
+            self._counters["warmed"].inc(len(missing))
+        return len(missing)
 
     # -- mutation protocol -------------------------------------------------
 
@@ -352,15 +489,20 @@ class RouteOracle:
             meta = self._meta.get(graph)
             if meta is None:
                 return
-            for key in self._index.pop((meta.lineage, meta.epoch), ()):
+            epoch_key = (meta.lineage, meta.epoch)
+            for key in self._index.pop(epoch_key, ()):
                 if self._cache.pop(key, None) is not None:
                     self._counters["invalidated"].inc()
+            self._drop_epoch_extras(epoch_key)
 
     def clear(self) -> None:
         """Drop everything (stats survive; see :meth:`reset_stats`)."""
         with self._lock:
             self._cache.clear()
             self._index.clear()
+            self._snapshots.clear()
+            self._repairs.clear()
+            self._repair_index.clear()
 
     # -- introspection -----------------------------------------------------
 
@@ -442,8 +584,10 @@ class RouteOracle:
         if oracle is None:
             return
         with oracle._lock:
-            for key in oracle._index.pop((meta.lineage, meta.epoch), ()):
+            epoch_key = (meta.lineage, meta.epoch)
+            for key in oracle._index.pop(epoch_key, ()):
                 oracle._cache.pop(key, None)
+            oracle._drop_epoch_extras(epoch_key)
 
     def _next_epoch(self, lineage: int) -> int:
         tip = self._lineage_tip.get(lineage, 0) + 1
@@ -477,12 +621,36 @@ class RouteOracle:
                 # epoch simply starts cold.)
                 self._counters["invalidated"].inc()
                 continue
+            new_key = (new_meta.lineage, new_meta.epoch) + key[2:]
             if entry.touches(touched_nodes, touched_edges):
+                # The tree is stale, but most of its labels usually are
+                # not: keep it aside for targeted repair at first lookup.
+                self._add_repair(
+                    new_key,
+                    _PendingRepair(entry.labels, touched_nodes, touched_edges),
+                )
                 self._counters["dropped"].inc()
                 continue
-            new_key = (new_meta.lineage, new_meta.epoch) + key[2:]
             self._insert(new_key, entry)
             self._counters["carried"].inc()
+        # Pending repairs of the old epoch chain forward: their touch sets
+        # accumulate so a later repair accounts for every mutation since
+        # the tree was computed.
+        repair_keys = self._repair_index.get(old_key, set())
+        for key in sorted(repair_keys, key=repr):
+            pending = self._repairs.get(key)
+            if pending is None:
+                continue
+            if additive:
+                self._discard_repair(key)
+                continue
+            new_key = (new_meta.lineage, new_meta.epoch) + key[2:]
+            self._add_repair(new_key, pending.merged(touched_nodes, touched_edges))
+        if move:
+            # The old epoch is unreachable now: its snapshots and pending
+            # repairs can never be used again.  (With a derive the old
+            # graph stays alive and keeps serving its own epoch.)
+            self._drop_epoch_extras(old_key)
 
     def _insert(self, key: _CacheKey, entry: _Entry) -> None:
         stale = self._cache.pop(key, None)
@@ -498,6 +666,114 @@ class RouteOracle:
                 if not bucket:
                     del self._index[evicted_key[:2]]
             self._counters["evictions"].inc()
+
+    # -- kernel snapshots --------------------------------------------------
+
+    def _snapshot_for(
+        self,
+        graph: Any,
+        lineage: int,
+        epoch: int,
+        view: str,
+        neighbors: NeighborFn,
+    ) -> Optional[_kernel.CSRGraph]:
+        """The CSR snapshot for one ``(lineage, epoch, view)``, or None.
+
+        Built at most once per key (None is remembered for graphs that
+        cannot be snapshotted).  The build itself runs outside the lock;
+        a concurrent duplicate build is harmless (idempotent result).
+        """
+        key = (lineage, epoch, view)
+        with self._lock:
+            if key in self._snapshots:
+                self._snapshots.move_to_end(key)
+                return self._snapshots[key]
+        csr = _kernel.snapshot(graph, neighbors)
+        if csr is not None and csr.n < self.kernel_min_nodes:
+            csr = None
+        with self._lock:
+            self._snapshots[key] = csr
+            self._snapshots.move_to_end(key)
+            while len(self._snapshots) > self._snapshots_max:
+                self._snapshots.popitem(last=False)
+        return csr
+
+    # -- incremental repair ------------------------------------------------
+
+    @staticmethod
+    def _repair_labels(
+        tree_fn: Callable[..., Dict[Node, RouteLabel]],
+        neighbors: NeighborFn,
+        source: Node,
+        pending: _PendingRepair,
+    ) -> Optional[Dict[Node, RouteLabel]]:
+        """Rebuild a tree from its pre-mutation labels, or None to punt.
+
+        Labels whose paths avoid every touched element are exact verbatim
+        (a restrictive mutation cannot improve any path, so the stored
+        path is still the deterministic optimum).  Affected destinations
+        recompute through the tree functions' ``targets`` contract, which
+        returns exactly the labels a full run would.  Destinations that
+        became unreachable simply drop out, matching the full run.
+        """
+        touched_nodes, touched_edges = pending.nodes, pending.edges
+        if source in touched_nodes:
+            return None  # the root itself is gone; recompute from scratch
+        repaired: Dict[Node, RouteLabel] = {}
+        affected: list = []
+        for dest, label in pending.labels.items():
+            path = label.path
+            hit = bool(touched_nodes) and not touched_nodes.isdisjoint(path)
+            if not hit and touched_edges:
+                hit = any(
+                    (a, b) in touched_edges for a, b in zip(path, path[1:])
+                )
+            if hit:
+                if dest not in touched_nodes:
+                    affected.append(dest)
+            else:
+                repaired[dest] = label
+        if affected:
+            recomputed = tree_fn(neighbors, source, targets=affected)
+            for dest in affected:
+                label = recomputed.get(dest)
+                if label is not None:
+                    repaired[dest] = label
+        return repaired
+
+    def _add_repair(self, key: _CacheKey, pending: _PendingRepair) -> None:
+        if key in self._repairs:
+            self._repairs.pop(key)
+            self._repair_index.get(key[:2], set()).discard(key)
+        self._repairs[key] = pending
+        self._repair_index.setdefault(key[:2], set()).add(key)
+        while len(self._repairs) > self.max_entries:
+            evicted_key, _ = self._repairs.popitem(last=False)
+            bucket = self._repair_index.get(evicted_key[:2])
+            if bucket is not None:
+                bucket.discard(evicted_key)
+                if not bucket:
+                    del self._repair_index[evicted_key[:2]]
+
+    def _pop_repair(self, key: _CacheKey) -> Optional[_PendingRepair]:
+        pending = self._repairs.pop(key, None)
+        if pending is not None:
+            bucket = self._repair_index.get(key[:2])
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self._repair_index[key[:2]]
+        return pending
+
+    def _discard_repair(self, key: _CacheKey) -> None:
+        self._pop_repair(key)
+
+    def _drop_epoch_extras(self, epoch_key: Tuple[int, int]) -> None:
+        """Drop snapshots and pending repairs of one dead epoch."""
+        for snap_key in [k for k in self._snapshots if k[:2] == epoch_key]:
+            del self._snapshots[snap_key]
+        for key in list(self._repair_index.pop(epoch_key, ())):
+            self._repairs.pop(key, None)
 
 
 def _touched(

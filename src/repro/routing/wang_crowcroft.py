@@ -85,10 +85,11 @@ def widest_bandwidths(
     single bandwidth order.  The source maps to ``inf``.
 
     With ``targets`` the search stops as soon as every requested target has
-    been settled, instead of exhausting the graph.  Settled entries (the
-    source and all targets found in the result) are exact; other entries
-    may be tentative, so callers passing ``targets`` must only read the
-    targets' values.
+    been settled, instead of exhausting the graph.  Only **settled**
+    entries are returned then -- every value present is exactly what the
+    exhaustive computation would produce.  (Earlier revisions leaked
+    tentative values for nodes the truncated search had merely reached;
+    callers reading a non-target key got a plausible-looking underestimate.)
     """
     remaining: Optional[set] = None
     if targets is not None:
@@ -114,6 +115,9 @@ def widest_bandwidths(
             if candidate > width.get(v, 0.0):
                 width[v] = candidate
                 heapq.heappush(heap, (-candidate, next(counter), v))
+    if remaining is not None:
+        # Early-terminated: drop tentative (reached-but-unsettled) values.
+        return {node: w for node, w in width.items() if node in settled}
     return width
 
 
@@ -129,7 +133,8 @@ def _shortest_latency_tree(
     Returns ``node -> (latency, hops, path)``.  Ties on latency are broken
     by hop count, then by smallest path (lexicographic on node reprs), so
     the result is deterministic.  With ``targets`` the search stops once
-    every requested target is settled (settled entries are exact; see
+    every requested target is settled and only settled entries are
+    returned (each exactly what the exhaustive run would produce; see
     :func:`widest_bandwidths`).
     """
     remaining: Optional[set] = None
@@ -165,6 +170,9 @@ def _shortest_latency_tree(
             if incumbent is None or _lat_better(cand, incumbent):
                 best[v] = cand
                 heapq.heappush(heap, (cand[0], cand[1], next(counter), v))
+    if remaining is not None:
+        # Early-terminated: drop tentative (reached-but-unsettled) entries.
+        return {node: entry for node, entry in best.items() if node in settled}
     return best
 
 
@@ -236,6 +244,7 @@ def widest_shortest_tree(
     source: Node,
     *,
     nodes: Optional[Iterable[Node]] = None,
+    targets: Optional[Iterable[Node]] = None,
 ) -> Dict[Node, RouteLabel]:
     """Single-source *widest-shortest* labels: minimise latency first, then
     maximise bandwidth among minimum-latency paths.
@@ -248,7 +257,19 @@ def widest_shortest_tree(
     accumulates strictly, so a higher-latency label can never produce a
     better extension, and bandwidth only breaks exact latency ties (where
     the wider label dominates outright).
+
+    With ``targets`` the search stops once every requested target is
+    settled and the result is restricted to the source plus the reachable
+    targets; labels present are exactly those the full computation would
+    produce (the oracle's incremental repair recomputes only affected
+    destinations through this contract).
     """
+    remaining: Optional[set] = None
+    target_set: Optional[set] = None
+    if targets is not None:
+        target_set = set(targets)
+        remaining = set(target_set)
+        remaining.discard(source)
     best: Dict[Node, RouteLabel] = {source: RouteLabel(IDEAL, 0, (source,))}
     settled: set = set()
     counter = itertools.count()
@@ -274,6 +295,10 @@ def widest_shortest_tree(
         if key != sort_key(label.quality) or hops != label.hops:
             continue  # stale
         settled.add(u)
+        if remaining is not None:
+            remaining.discard(u)
+            if not remaining:
+                break
         for v, link in neighbors(u):
             if v in settled or not link.reachable:
                 continue
@@ -289,6 +314,14 @@ def widest_shortest_tree(
                     heap,
                     (sort_key(candidate.quality), candidate.hops, next(counter), v),
                 )
+    if target_set is not None:
+        # Early-terminated: keep only settled source/target entries (every
+        # label present is exact -- see widest_bandwidths).
+        best = {
+            node: label
+            for node, label in best.items()
+            if node in settled and (node == source or node in target_set)
+        }
     if nodes is not None:
         for node in nodes:
             best.setdefault(node, _UNREACHED)

@@ -100,6 +100,17 @@ class AbstractGraph:
 
         edges: Dict[Tuple[ServiceInstance, ServiceInstance], AbstractEdge] = {}
         oracle = RouteOracle.default()
+        # Batched prefetch: every distinct source instance of the
+        # requirement's edges gets its tree from one kernel pass over a
+        # single CSR snapshot of the overlay; the lookups below then hit.
+        sources: List[ServiceInstance] = []
+        seen = set()
+        for a_sid, _ in requirement.edges():
+            for a in instances[a_sid]:
+                if a not in seen:
+                    seen.add(a)
+                    sources.append(a)
+        oracle.warm(overlay, sources)
         for a_sid, b_sid in requirement.edges():
             usable = False
             for a in instances[a_sid]:
@@ -136,6 +147,15 @@ class AbstractGraph:
     def nodes(self) -> Iterator[ServiceInstance]:
         for sid in self._requirement.services():
             yield from self._instances[sid]
+
+    def routing_nodes(self) -> Tuple[ServiceInstance, ...]:
+        """Snapshot-export hook: the node universe of ``successors``.
+
+        The routing kernel (:mod:`repro.routing.kernel`) flattens the
+        abstract-edge adjacency over exactly this universe when building
+        a CSR snapshot for batched tree computation.
+        """
+        return tuple(sorted(set(self.nodes())))
 
     def edge(
         self, src: ServiceInstance, dst: ServiceInstance

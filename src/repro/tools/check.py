@@ -33,6 +33,7 @@ SFL006   swallowed exceptions: broad ``except`` without re-raise/telemetry
 SFL007   float ``==``: computed float equality in tests
 SFL008   mutable default arguments
 SFL009   unbounded retry loops: ``while True`` send+wait without escape
+SFL010   ambient numpy randomness in sim/core/routing/eval
 =======  ==================================================================
 
 Suppression: append ``# sflow: noqa[SFL00X] -- justification`` to the
@@ -783,6 +784,77 @@ class UnboundedRetry(Rule):
 
 
 # ---------------------------------------------------------------------------
+# SFL010 -- ambient numpy randomness
+# ---------------------------------------------------------------------------
+
+#: Seeded-generator constructors of :mod:`numpy.random` -- sanctioned
+#: *when called with arguments* (an explicit seed / bit generator).
+#: Called bare they seed from the OS, which is exactly the ambient state
+#: this rule exists to keep out of deterministic code.
+_NUMPY_SEEDED_CONSTRUCTS: Set[str] = {
+    "default_rng",
+    "Generator",
+    "RandomState",
+    "SeedSequence",
+    "MT19937",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+}
+
+
+class AmbientNumpyRandomness(Rule):
+    """No ambient ``numpy.random`` state in deterministic code.
+
+    Module-level ``numpy.random.*`` calls (``rand``, ``seed``,
+    ``shuffle``, ...) draw from or mutate the interpreter-global legacy
+    ``RandomState`` -- the numpy twin of SFL002's ambient ``random.*``.
+    The routing kernel's batched results (and with them every parallel
+    sweep) are only bit-identical because nothing in the hot packages
+    touches that shared stream.  Seeded generator constructions
+    (``default_rng(seed)``, ``Generator(PCG64(seed))``, ...) are the
+    sanctioned alternative and stay legal -- but only *with* arguments;
+    bare ``default_rng()`` seeds from the OS.
+    """
+
+    code = "SFL010"
+    summary = "ambient numpy.random state in deterministic code"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_package(
+            "repro.sim", "repro.core", "repro.routing", "repro.eval"
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.qualified_call_name(node.func)
+            if name is None or not name.startswith("numpy.random."):
+                continue
+            terminal = name.rsplit(".", 1)[1]
+            if terminal in _NUMPY_SEEDED_CONSTRUCTS:
+                if node.args or node.keywords:
+                    continue  # explicitly seeded construction
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"bare numpy.random.{terminal}() seeds from the OS; "
+                    "pass an explicit seed derived from the experiment "
+                    "config",
+                )
+                continue
+            yield self.violation(
+                ctx,
+                node,
+                f"ambient numpy.random.{terminal}() uses interpreter-"
+                "global state; construct a seeded numpy Generator "
+                "(numpy.random.default_rng(seed)) and call its methods",
+            )
+
+
+# ---------------------------------------------------------------------------
 # registry / engine
 # ---------------------------------------------------------------------------
 
@@ -796,6 +868,7 @@ RULES: Tuple[Rule, ...] = (
     FloatEquality(),
     MutableDefault(),
     UnboundedRetry(),
+    AmbientNumpyRandomness(),
 )
 
 

@@ -1,0 +1,211 @@
+"""Property tests: the CSR kernel is label-for-label identical to pure.
+
+The exactness contract of :mod:`repro.routing.kernel`: for every source,
+:func:`~repro.routing.kernel.batched_trees` returns the same label dict
+(bandwidth, latency, hops, *and* the deterministic tie-break path) as the
+pure :func:`~repro.routing.wang_crowcroft.shortest_widest_tree` /
+:func:`~repro.routing.wang_crowcroft.widest_shortest_tree`, over seeded
+generated topologies including zero-bandwidth and unreachable links.
+"""
+
+import math
+
+import pytest
+
+from repro.network.metrics import PathQuality
+from repro.network.overlay import OverlayGraph, ServiceInstance
+from repro.network.underlay import Underlay, UnderlayConfig
+from repro.routing import kernel
+from repro.routing.kernel import (
+    SHORTEST_WIDEST,
+    WIDEST_SHORTEST,
+    CSRGraph,
+    affected_sources,
+    batched_trees,
+    snapshot,
+)
+from repro.routing.wang_crowcroft import (
+    shortest_widest_tree,
+    widest_shortest_tree,
+)
+from repro.services.workloads import ScenarioConfig, generate_scenario
+
+pytestmark = pytest.mark.skipif(
+    not kernel.HAVE_NUMPY, reason="routing kernel requires numpy"
+)
+
+MODELS = ("waxman", "erdos_renyi", "barabasi_albert")
+ORDERS = (
+    (SHORTEST_WIDEST, shortest_widest_tree),
+    (WIDEST_SHORTEST, widest_shortest_tree),
+)
+
+
+def assert_kernel_matches_pure(graph, neighbors, nodes):
+    """Every source's batched tree equals the pure per-source tree."""
+    csr = CSRGraph.from_adjacency(nodes, neighbors)
+    for order, pure in ORDERS:
+        batched = batched_trees(csr, nodes, order=order)
+        for source, labels in zip(nodes, batched):
+            expected = pure(neighbors, source)
+            assert labels == expected, (order, source)
+
+
+class TestUnderlayEquivalence:
+    @pytest.mark.parametrize("model", MODELS)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_generated_underlays(self, model, seed):
+        underlay = Underlay.generate(
+            UnderlayConfig(n=24, model=model, seed=seed)
+        )
+        assert_kernel_matches_pure(
+            underlay, underlay.neighbors, underlay.routing_nodes()
+        )
+
+
+class TestOverlayEquivalence:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_scenario_overlays(self, seed):
+        scenario = generate_scenario(
+            ScenarioConfig(network_size=24, n_services=4, seed=seed)
+        )
+        overlay = scenario.overlay
+        assert_kernel_matches_pure(
+            overlay, overlay.successors, overlay.routing_nodes()
+        )
+
+    def test_zero_bandwidth_and_unreachable_links(self):
+        """Unusable links (zero bandwidth, infinite latency) are ignored
+        by kernel and pure alike; fully cut-off nodes get no label."""
+        insts = [ServiceInstance("S", i) for i in range(6)]
+        a, b, c, d, e, f = insts
+        overlay = OverlayGraph()
+        overlay.add_link(a, b, PathQuality(10.0, 1.0))
+        overlay.add_link(b, c, PathQuality(0.0, 1.0))  # zero bandwidth
+        overlay.add_link(a, c, PathQuality(5.0, math.inf))  # infinite latency
+        overlay.add_link(c, d, PathQuality(8.0, 2.0))
+        overlay.add_link(a, e, PathQuality(3.0, 4.0))
+        overlay.add_link(e, d, PathQuality(3.0, 1.0))
+        overlay.add_instance(f)  # isolated
+        nodes = overlay.routing_nodes()
+        assert_kernel_matches_pure(overlay, overlay.successors, nodes)
+        csr = CSRGraph.from_adjacency(nodes, overlay.successors)
+        labels = batched_trees(csr, (a,), order=SHORTEST_WIDEST)[0]
+        # c is only reachable through unusable links -> absent entirely.
+        assert c not in labels
+        assert f not in labels
+        # d is reachable only via the usable detour a -> e -> d.
+        assert labels[d].path == (a, e, d)
+
+
+class TestTieBreaks:
+    def test_equal_cost_paths_pick_smallest_repr_path(self):
+        """Two equal-(bandwidth, latency, hops) branches: the label must
+        carry the lexicographically smallest path under repr order, in
+        both implementations."""
+        a = ServiceInstance("A", 0)
+        m1 = ServiceInstance("M", 1)
+        m2 = ServiceInstance("M", 2)
+        z = ServiceInstance("Z", 9)
+        overlay = OverlayGraph()
+        overlay.add_link(a, m2, PathQuality(10.0, 1.0))
+        overlay.add_link(a, m1, PathQuality(10.0, 1.0))
+        overlay.add_link(m2, z, PathQuality(10.0, 1.0))
+        overlay.add_link(m1, z, PathQuality(10.0, 1.0))
+        nodes = overlay.routing_nodes()
+        assert_kernel_matches_pure(overlay, overlay.successors, nodes)
+        csr = CSRGraph.from_adjacency(nodes, overlay.successors)
+        for order in (SHORTEST_WIDEST, WIDEST_SHORTEST):
+            labels = batched_trees(csr, (a,), order=order)[0]
+            assert labels[z].path == (a, m1, z), order
+
+
+class TestCSRGraph:
+    def test_rows_are_bandwidth_descending(self):
+        """The usable view's per-row bandwidth-descending layout is what
+        makes threshold sweeps prefix walks; guard the invariant."""
+        underlay = Underlay.generate(
+            UnderlayConfig(n=20, model="waxman", seed=7)
+        )
+        csr = CSRGraph.from_adjacency(
+            underlay.routing_nodes(), underlay.neighbors
+        )
+        indptr, _, _, ebw = csr.usable_view()
+        for u in range(csr.n):
+            row = ebw[indptr[u] : indptr[u + 1]]
+            assert row == sorted(row, reverse=True)
+        if ebw:
+            assert csr.min_usable_bandwidth == min(ebw)
+
+    def test_rejects_non_injective_reprs(self):
+        class Opaque:
+            def __init__(self, tag):
+                self.tag = tag
+
+            def __repr__(self):
+                return "Opaque()"  # identical for all instances
+
+        nodes = [Opaque("x"), Opaque("y")]
+        with pytest.raises(ValueError, match="not unique"):
+            CSRGraph.from_adjacency(nodes, lambda n: iter(()))
+
+    def test_rejects_out_of_universe_neighbors(self):
+        a = ServiceInstance("A", 0)
+        b = ServiceInstance("B", 1)
+
+        def neighbors(node):
+            yield b, PathQuality(1.0, 1.0)
+
+        with pytest.raises(ValueError, match="outside"):
+            CSRGraph.from_adjacency([a], neighbors)
+
+    def test_batched_trees_unknown_source(self):
+        a = ServiceInstance("A", 0)
+        stranger = ServiceInstance("B", 1)
+        csr = CSRGraph.from_adjacency([a], lambda n: iter(()))
+        with pytest.raises(KeyError):
+            batched_trees(csr, (stranger,))
+
+    def test_batched_trees_unknown_order(self):
+        a = ServiceInstance("A", 0)
+        csr = CSRGraph.from_adjacency([a], lambda n: iter(()))
+        with pytest.raises(ValueError, match="order"):
+            batched_trees(csr, (a,), order="bogus")
+
+
+class TestSnapshot:
+    def test_snapshot_of_overlay(self):
+        scenario = generate_scenario(
+            ScenarioConfig(network_size=20, n_services=3, seed=1)
+        )
+        csr = snapshot(scenario.overlay)
+        assert csr is not None
+        assert csr.nodes == scenario.overlay.routing_nodes()
+        assert csr.n == len(scenario.overlay.routing_nodes())
+
+    def test_snapshot_without_export_hook(self):
+        class Bare:
+            def successors(self, node):
+                return iter(())
+
+        assert snapshot(Bare()) is None
+
+
+class TestAffectedSources:
+    def test_only_sources_crossing_touched_elements(self):
+        a = ServiceInstance("A", 0)
+        b = ServiceInstance("B", 1)
+        c = ServiceInstance("C", 2)
+        overlay = OverlayGraph()
+        overlay.add_link(a, b, PathQuality(10.0, 1.0))
+        overlay.add_link(b, c, PathQuality(10.0, 1.0))
+        overlay.add_link(c, a, PathQuality(10.0, 1.0))
+        trees = {
+            source: shortest_widest_tree(overlay.successors, source)
+            for source in (a, b, c)
+        }
+        hit = affected_sources(trees, set(), {(b, c)})
+        # Every tree that routes through b -> c is affected; c's own tree
+        # reaches a and b without that link.
+        assert a in hit and b in hit
+        assert c not in hit

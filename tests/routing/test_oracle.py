@@ -298,3 +298,151 @@ class TestRegistryExport:
         with pytest.warns(DeprecationWarning):
             legacy = oracle.counters
         assert legacy == oracle.stats()
+
+
+class TestWarm:
+    """Batched prefetch: warm() fills the cache through the kernel."""
+
+    def test_warm_then_lookups_all_hit(self):
+        scenario = generate_scenario(
+            ScenarioConfig(network_size=20, n_services=4, seed=3)
+        )
+        overlay = scenario.overlay
+        oracle = RouteOracle.default()
+        oracle.reset_stats()  # scenario generation already used the oracle
+        instances = list(overlay.instances())
+        computed = oracle.warm(overlay, instances)
+        assert computed == len(instances)
+        stats = oracle.stats()
+        assert stats.warmed == len(instances)
+        assert stats.misses == 0  # warm is a prefetch, not a lookup
+        for inst in instances:
+            assert oracle.tree(overlay, inst) == shortest_widest_tree(
+                overlay.successors, inst
+            )
+        assert oracle.stats().hits == len(instances)
+
+    def test_warm_skips_already_cached_sources(self):
+        overlay = diamond_overlay()
+        oracle = RouteOracle.default()
+        a = ServiceInstance("A", 0)
+        oracle.tree(overlay, a)
+        assert oracle.warm(overlay, overlay.instances()) == 3
+        assert oracle.warm(overlay, overlay.instances()) == 0
+
+    def test_warm_disabled_oracle_is_a_noop(self):
+        overlay = diamond_overlay()
+        oracle = RouteOracle(enabled=False)
+        assert oracle.warm(overlay, overlay.instances()) == 0
+        assert len(oracle) == 0
+
+    def test_warm_matches_pure_without_kernel(self):
+        """The pure fallback arm of warm() fills the same labels."""
+        scenario = generate_scenario(
+            ScenarioConfig(network_size=20, n_services=4, seed=5)
+        )
+        overlay = scenario.overlay
+        with_kernel = RouteOracle()
+        without = RouteOracle(use_kernel=False)
+        instances = list(overlay.instances())
+        with_kernel.warm(overlay, instances)
+        without.warm(overlay, instances)
+        for inst in instances:
+            assert with_kernel.tree(overlay, inst) == without.tree(
+                overlay, inst
+            )
+
+
+class TestIncrementalRepair:
+    """Touched trees are repaired at first lookup, not fully recomputed."""
+
+    def test_repair_matches_direct_computation(self):
+        overlay = diamond_overlay()
+        oracle = RouteOracle.default()
+        a = ServiceInstance("A", 0)
+        b1 = ServiceInstance("B", 1)
+        b2 = ServiceInstance("B", 2)
+        c = ServiceInstance("C", 3)
+        oracle.tree(overlay, a)
+        # a's shortest-widest path to c runs a -> b2 -> c; cutting that
+        # link touches the cached tree and schedules a repair.
+        cut = fail_links(overlay, [(b2, c)])
+        assert oracle.tree(cut, a) == shortest_widest_tree(cut.successors, a)
+        assert oracle.tree(cut, a)[c].path == (a, b1, c)
+        assert oracle.stats().repaired == 1
+
+    def test_repair_keeps_untouched_labels_verbatim(self):
+        overlay = diamond_overlay()
+        oracle = RouteOracle.default()
+        a = ServiceInstance("A", 0)
+        b1 = ServiceInstance("B", 1)
+        b2 = ServiceInstance("B", 2)
+        c = ServiceInstance("C", 3)
+        before = oracle.tree(overlay, a)
+        cut = fail_links(overlay, [(b2, c)])
+        after = oracle.tree(cut, a)
+        # b1 and b2 labels avoid the cut link: carried forward verbatim.
+        assert after[b1] is before[b1]
+        assert after[b2] is before[b2]
+        # c re-routes through the surviving branch.
+        assert after[c].path == (a, b1, c)
+
+    def test_removed_root_punts_to_full_recompute(self):
+        overlay = diamond_overlay()
+        oracle = RouteOracle.default()
+        b1 = ServiceInstance("B", 1)
+        oracle.tree(overlay, b1)
+        survivor = fail_instances(overlay, [b1])
+        oracle.reset_stats()
+        labels = oracle.tree(survivor, b1)
+        assert labels == shortest_widest_tree(survivor.successors, b1)
+        assert oracle.stats().repaired == 0
+
+    def test_chained_mutations_merge_touch_sets(self):
+        """Two successive failures before the next lookup: the repair must
+        account for both, not just the latest."""
+        overlay = diamond_overlay()
+        oracle = RouteOracle.default()
+        a = ServiceInstance("A", 0)
+        b1 = ServiceInstance("B", 1)
+        b2 = ServiceInstance("B", 2)
+        c = ServiceInstance("C", 3)
+        oracle.tree(overlay, a)
+        cut1 = fail_links(overlay, [(b2, c)])
+        cut2 = fail_links(cut1, [(a, b1)])
+        assert oracle.tree(cut2, a) == shortest_widest_tree(
+            cut2.successors, a
+        )
+
+    def test_additive_mutation_discards_pending_repairs(self):
+        overlay = diamond_overlay()
+        oracle = RouteOracle.default()
+        a = ServiceInstance("A", 0)
+        b2 = ServiceInstance("B", 2)
+        c = ServiceInstance("C", 3)
+        oracle.tree(overlay, a)
+        cut = fail_links(overlay, [(b2, c)])  # a's tree becomes a repair
+        oracle.mutate(cut, additive=True)  # better paths may exist now
+        oracle.reset_stats()
+        assert oracle.tree(cut, a) == shortest_widest_tree(cut.successors, a)
+        assert oracle.stats().repaired == 0
+
+    @pytest.mark.parametrize("seed", [2, 11])
+    def test_repaired_trees_exact_on_generated_overlays(self, seed):
+        scenario = generate_scenario(
+            ScenarioConfig(network_size=16, n_services=4, seed=seed)
+        )
+        overlay = scenario.overlay
+        oracle = RouteOracle.default()
+        for inst in overlay.instances():
+            oracle.tree(overlay, inst)
+        links = [
+            (link.src, link.dst)
+            for inst in overlay.instances()
+            for link in overlay.out_links(inst)
+        ]
+        cut = fail_links(overlay, links[:: max(1, len(links) // 5)])
+        for inst in cut.instances():
+            assert oracle.tree(cut, inst) == shortest_widest_tree(
+                cut.successors, inst
+            ), f"repair produced a wrong tree for {inst} (seed {seed})"

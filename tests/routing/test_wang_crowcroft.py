@@ -216,3 +216,63 @@ class TestAgainstBruteForce:
         assert {
             k: (v.quality, v.hops, v.predecessor) for k, v in first.items()
         } == {k: (v.quality, v.hops, v.predecessor) for k, v in second.items()}
+
+
+class TestTargetedSearches:
+    """The ``targets=`` early-termination must never leak tentative values.
+
+    Regression: a truncated max-bottleneck search reaches nodes it never
+    settles; their dict entries are underestimates.  A caller reading a
+    non-target key must get *no* entry rather than a plausible-looking
+    wrong one.
+    """
+
+    # a -> b is wide, a -> d is narrow, but d's true widest path detours
+    # through b; a search targeting only b settles before fixing d.
+    EDGES = {
+        ("a", "b"): PathQuality(10.0, 1.0),
+        ("a", "d"): PathQuality(5.0, 1.0),
+        ("b", "d"): PathQuality(8.0, 1.0),
+    }
+
+    def test_widest_bandwidths_returns_only_settled_entries(self):
+        from repro.routing.wang_crowcroft import widest_bandwidths
+
+        width = widest_bandwidths(adjacency(self.EDGES), "a", targets=("b",))
+        assert width["b"] == 10.0
+        # d was reached with tentative width 5.0 (true value: 8.0); the
+        # truncated search must not expose it at all.
+        assert "d" not in width
+        full = widest_bandwidths(adjacency(self.EDGES), "a")
+        assert full["d"] == 8.0
+        for node, w in width.items():
+            assert full[node] == w
+
+    def test_shortest_widest_tree_targets_hide_unsettled_nodes(self):
+        labels = shortest_widest_tree(
+            adjacency(self.EDGES), "a", targets=("b",)
+        )
+        assert set(labels) == {"a", "b"}
+        full = shortest_widest_tree(adjacency(self.EDGES), "a")
+        assert labels["b"] == full["b"]
+
+    def test_widest_shortest_tree_targets_hide_unsettled_nodes(self):
+        # Latency ordering: targeting "b" stops before "d" settles.
+        edges = {
+            ("a", "b"): PathQuality(10.0, 1.0),
+            ("a", "d"): PathQuality(5.0, 9.0),
+            ("b", "d"): PathQuality(8.0, 1.0),
+        }
+        labels = widest_shortest_tree(adjacency(edges), "a", targets=("b",))
+        assert set(labels) == {"a", "b"}
+        full = widest_shortest_tree(adjacency(edges), "a")
+        assert labels["b"] == full["b"]
+
+    def test_targeted_labels_match_full_run(self):
+        for targets in (("b",), ("d",), ("b", "d")):
+            labels = shortest_widest_tree(
+                adjacency(self.EDGES), "a", targets=targets
+            )
+            full = shortest_widest_tree(adjacency(self.EDGES), "a")
+            for node, label in labels.items():
+                assert label == full[node]

@@ -1,0 +1,30 @@
+# sflow: module=repro.routing.fixture
+"""Seeded fixture: SFL010 fires on ambient numpy randomness only."""
+
+import numpy as np
+from numpy import random as npr
+
+
+def bad_module_level_draw() -> float:
+    return np.random.rand()  # SFL010
+
+
+def bad_global_seed() -> None:
+    np.random.seed(0)  # SFL010 (mutates the shared legacy RandomState)
+
+
+def bad_via_from_import(xs) -> None:
+    npr.shuffle(xs)  # SFL010 (alias still resolves to numpy.random)
+
+
+def bad_unseeded_generator():
+    return np.random.default_rng()  # SFL010 (seeds from the OS)
+
+
+def ok_seeded_generator(seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    return rng.random()  # methods on a seeded Generator are fine
+
+
+def ok_explicit_bit_generator(seed: int):
+    return np.random.Generator(np.random.PCG64(seed))

@@ -97,6 +97,17 @@ def test_sfl009_fixture_fires_on_unbounded_retry_loops_only():
     assert [v.line for v in violations] == [6, 12]
 
 
+def test_sfl010_fixture_fires_on_ambient_numpy_randomness_only():
+    assert fixture_codes("sfl010_numpy_random.py") == ["SFL010"] * 4
+
+
+def test_sfl010_out_of_scope_module_is_exempt():
+    source = "import numpy as np\nx = np.random.rand()\n"
+    assert check_source(source, module="repro.obs.sampling") == []
+    found = check_source(source, module="repro.routing.noise")
+    assert codes_in(found) == ["SFL010"]
+
+
 def test_suppression_fixture_waives_with_justification_only():
     violations = check_file(FIXTURES / "suppressions.py")
     # waived(): suppressed cleanly.  bare_waiver(): SFL000 (no reason) and
