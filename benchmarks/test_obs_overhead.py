@@ -89,3 +89,38 @@ def test_disabled_tracing_adds_no_measurable_federation_overhead():
     # i.e. the off switch really is the fast path (3x guards CI jitter on
     # a measurement that should favour `disabled` by construction).
     assert disabled < enabled * 3
+
+
+def test_disabled_sampler_adds_no_measurable_federation_overhead():
+    """The series pipeline inherits the same off-switch contract.
+
+    ``SFlowConfig.sample_interval=None`` (the default) must spawn no
+    sampler process and perturb nothing -- held to the same macro budget
+    as the tracing off switch: the unsampled run must not be slower than
+    the run that actually scrapes series every sim-time unit.
+    """
+    scenario = generate_scenario(
+        ScenarioConfig(network_size=30, n_services=6, seed=11)
+    )
+
+    def federate(config: SFlowConfig):
+        def run() -> None:
+            SFlowAlgorithm(config).federate(
+                scenario.requirement,
+                scenario.overlay,
+                source_instance=scenario.source_instance,
+            )
+
+        return run
+
+    unsampled = federate(SFlowConfig())
+    sampled = federate(SFlowConfig(sample_interval=1.0))
+    unsampled()  # warm caches (route oracle, imports)
+    rounds = 5
+    off = min(_time(unsampled, 1) for _ in range(rounds))
+    on = min(_time(sampled, 1) for _ in range(rounds))
+    print(
+        f"\n  federation: unsampled {off * 1e3:.2f} ms, "
+        f"sampled {on * 1e3:.2f} ms"
+    )
+    assert off < on * 3

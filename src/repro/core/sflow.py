@@ -74,6 +74,7 @@ from repro.errors import FederationError, SimulationError
 from repro.network.failures import ChaosPlan
 from repro.obs import metrics as obs_metrics
 from repro.obs.clock import Stopwatch
+from repro.obs.timeseries import SeriesSampler
 from repro.obs.trace import NULL_SPAN, SimClock, tracer as obs_tracer
 from repro.network.metrics import PathQuality, UNREACHABLE
 from repro.network.overlay import OverlayGraph, ServiceInstance
@@ -278,6 +279,11 @@ class SFlowConfig:
         retry_policy: optional bounded retry budget with exponential
             backoff + jitter, replacing the fixed
             ``retransmit_timeout`` x ``max_retries`` schedule.
+        sample_interval: optional sim-time interval at which a
+            :class:`~repro.obs.timeseries.SeriesSampler` scrapes the
+            metrics registry during the run.  ``None`` (default) disables
+            sampling entirely -- no sampler process is created and the
+            legacy event schedule is preserved bit for bit.
     """
 
     horizon: int = 2
@@ -300,6 +306,7 @@ class SFlowConfig:
     detector: Optional[DetectorConfig] = None
     breaker: Optional[BreakerConfig] = None
     retry_policy: Optional[RetryPolicy] = None
+    sample_interval: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.horizon < 0:
@@ -322,6 +329,8 @@ class SFlowConfig:
             raise ValueError("required_bandwidth must be > 0 (or None)")
         if self.refederate_hysteresis < 0:
             raise ValueError("refederate_hysteresis must be >= 0")
+        if self.sample_interval is not None and self.sample_interval <= 0:
+            raise ValueError("sample_interval must be > 0 (or None)")
 
 
 @dataclass
@@ -361,6 +370,10 @@ class SFlowResult:
     degradation: Optional[DegradationRecord] = None
     achieved_bandwidth: Optional[float] = None
     suspected: Tuple[str, ...] = ()
+    #: Sampled metric series over the run (empty unless
+    #: :attr:`SFlowConfig.sample_interval` was set); a plain-dict bank --
+    #: see :mod:`repro.obs.timeseries`.
+    series: Dict[str, dict] = field(default_factory=dict)
 
     @property
     def succeeded(self) -> bool:
@@ -1498,6 +1511,12 @@ class _Federation:
             self._span.child(phase).end(
                 wall_seconds=self._setup_seconds[phase]
             )
+        sampler: Optional[SeriesSampler] = None
+        if self.config.sample_interval is not None:
+            sampler = SeriesSampler(
+                self.env, interval=self.config.sample_interval
+            )
+            sampler.install()
         for node in nodes:
             self.env.process(node.run())
         if self.chaos is not None:
@@ -1563,6 +1582,15 @@ class _Federation:
         if self.recovery_log:
             recovery_latency = self.env.now - self.recovery_log[0].time
             _H_RECOVERY_TIME.observe(recovery_latency)
+        series_bank: Dict[str, dict] = {}
+        if sampler is not None:
+            # One final manual scrape so the outcome metrics recorded just
+            # above land in the series even when the run ended mid-interval.
+            sampler.sample()
+            series_bank = sampler.bank()
+            sink = obs_tracer().sink
+            if sink is not None:
+                sampler.emit(sink)
         self._span.end(
             outcome=outcome.value,
             messages=self.network.stats.messages,
@@ -1597,6 +1625,7 @@ class _Federation:
             degradation=self.degradation,
             achieved_bandwidth=self.achieved_bandwidth,
             suspected=tuple(sorted(str(inst) for inst in self.suspected)),
+            series=series_bank,
         )
 
     def _assemble(self) -> ServiceFlowGraph:

@@ -13,8 +13,10 @@
 
 from repro.eval.experiments import (
     EvaluationConfig,
+    SweepTelemetry,
     TrialRecord,
     run_evaluation,
+    run_evaluation_with_observability,
     run_scalability,
     run_trial,
 )
@@ -43,10 +45,12 @@ __all__ = [
     "run_robustness",
     "summarize",
     "EvaluationConfig",
+    "SweepTelemetry",
     "TrialRecord",
     "confidence_interval_95",
     "mean",
     "run_evaluation",
+    "run_evaluation_with_observability",
     "run_scalability",
     "run_trial",
     "sample_stdev",

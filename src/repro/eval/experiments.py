@@ -29,7 +29,9 @@ from repro.core.optimal import GlobalOptimalAlgorithm
 from repro.core.sflow import SFlowAlgorithm, SFlowConfig
 from repro.errors import FederationError
 from repro.obs import metrics as obs_metrics
+from repro.obs import timeseries as obs_timeseries
 from repro.obs.clock import Stopwatch
+from repro.obs.slo import SloSpec, replay as slo_replay
 from repro.routing.oracle import RouteOracle
 from repro.services.flowgraph import ServiceFlowGraph
 from repro.services.requirement import RequirementClass
@@ -66,6 +68,13 @@ class EvaluationConfig:
     #: cell-submission order, so the parallel sweep reproduces the serial
     #: one record for record (wall-clock timing fields aside).
     workers: int = 0
+    #: Optional sim-time metric sampling inside every sflow cell (see
+    #: :attr:`repro.core.sflow.SFlowConfig.sample_interval`); ``None``
+    #: keeps the legacy schedule bit for bit.
+    sample_interval: Optional[float] = None
+    #: SLOs graded over the sweep's folded series bank (needs
+    #: ``sample_interval``); verdicts land in :class:`SweepTelemetry`.
+    slos: Tuple[SloSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if self.trials < 1:
@@ -74,6 +83,11 @@ class EvaluationConfig:
             raise ValueError("need at least one network size")
         if self.workers < -1:
             raise ValueError("workers must be >= -1")
+        if self.sample_interval is not None and self.sample_interval <= 0:
+            raise ValueError("sample_interval must be > 0 (or None)")
+        self.slos = tuple(self.slos)
+        if self.slos and self.sample_interval is None:
+            raise ValueError("slos need sample_interval to be evaluated")
 
     def instance_range(self, network_size: int) -> Tuple[int, int]:
         """Instances per service for a given network size.
@@ -125,6 +139,34 @@ def run_trial(
     (it defines the correctness coefficient); if the scenario is infeasible
     even for it, every record is marked infeasible.  ``stopwatch``
     injects the host clock behind ``elapsed_seconds`` (tests script it).
+    """
+    records, _ = run_trial_with_series(
+        scenario,
+        horizon=horizon,
+        pareto=pareto,
+        use_link_state=use_link_state,
+        rng=rng,
+        stopwatch=stopwatch,
+    )
+    return records
+
+
+def run_trial_with_series(
+    scenario: Scenario,
+    *,
+    horizon: int = 2,
+    pareto: bool = True,
+    use_link_state: bool = False,
+    rng: Optional[random.Random] = None,
+    stopwatch: Optional[Stopwatch] = None,
+    sample_interval: Optional[float] = None,
+) -> Tuple[List[TrialRecord], Dict[str, dict]]:
+    """:func:`run_trial` plus the sflow run's sampled series bank.
+
+    With ``sample_interval`` set, the sflow arm of the line-up runs under
+    a :class:`~repro.obs.timeseries.SeriesSampler` and the second element
+    is its plain-dict bank (empty otherwise -- and empty for the
+    centralized baselines, which have no simulation to sample).
     """
     rng = rng or random.Random(scenario.seed)
     stopwatch = stopwatch if stopwatch is not None else Stopwatch()
@@ -180,6 +222,7 @@ def run_trial(
         )
 
     records: List[TrialRecord] = []
+    series_bank: Dict[str, dict] = {}
 
     optimal_alg = GlobalOptimalAlgorithm()
     started = stopwatch.read()
@@ -190,7 +233,12 @@ def run_trial(
     optimal_elapsed = stopwatch.read() - started
 
     sflow_alg = SFlowAlgorithm(
-        SFlowConfig(horizon=horizon, pareto=pareto, use_link_state=use_link_state)
+        SFlowConfig(
+            horizon=horizon,
+            pareto=pareto,
+            use_link_state=use_link_state,
+            sample_interval=sample_interval,
+        )
     )
     service_path_alg = ServicePathAlgorithm()
     for name, algorithm in (
@@ -212,6 +260,7 @@ def run_trial(
         if name == "sflow" and sflow_alg.last_result is not None:
             messages = sflow_alg.last_result.messages
             convergence = sflow_alg.last_result.convergence_time
+            series_bank = sflow_alg.last_result.series
         rec = record(
             name,
             graph,
@@ -237,11 +286,19 @@ def run_trial(
     records.append(
         record("optimal", optimal, optimal_elapsed, optimal)
     )
-    return records
+    return records, series_bank
 
 
 def _evaluate_cell(payload: Tuple[EvaluationConfig, int, int]) -> List[TrialRecord]:
     """One (size, trial) sweep cell; self-seeded, safe in a worker process."""
+    records, _ = _observed_cell(payload)
+    return records
+
+
+def _observed_cell(
+    payload: Tuple[EvaluationConfig, int, int]
+) -> Tuple[List[TrialRecord], Dict[str, dict]]:
+    """:func:`_evaluate_cell` plus the cell's sampled series bank."""
     config, size, trial = payload
     scenario_seed = _trial_seed(config.seed, size, trial)
     scenario = generate_scenario(
@@ -253,12 +310,13 @@ def _evaluate_cell(payload: Tuple[EvaluationConfig, int, int]) -> List[TrialReco
             seed=scenario_seed,
         )
     )
-    return run_trial(
+    return run_trial_with_series(
         scenario,
         horizon=config.horizon,
         pareto=config.pareto,
         use_link_state=config.use_link_state,
         rng=random.Random(scenario_seed ^ 0x5F5F),
+        sample_interval=config.sample_interval,
     )
 
 
@@ -414,18 +472,61 @@ def run_evaluation_with_metrics(
     differ in the final bits, since subtraction-based deltas round
     differently than a fresh accumulation.
     """
+    records, metrics, _ = run_evaluation_with_observability(config)
+    return records, metrics
+
+
+@dataclass
+class SweepTelemetry:
+    """Series and SLO outputs of one observed sweep.
+
+    ``series`` is the submission-order fold of every cell's sampled bank
+    (:func:`repro.obs.timeseries.merge_banks`): per-sim-time aggregates
+    across cells.  All integer series content (sample times, counter
+    deltas, histogram counts and buckets) is bit-identical between serial
+    and pooled runs; histogram float *sums* carry the same last-bit
+    rounding caveat as :func:`run_evaluation_with_metrics`.
+    ``slo_results``/``alerts`` come from replaying ``config.slos`` over
+    that folded bank (empty when no SLOs were configured).
+    """
+
+    series: Dict[str, dict] = field(default_factory=dict)
+    slo_results: List[dict] = field(default_factory=list)
+    alerts: List[dict] = field(default_factory=list)
+
+
+def run_evaluation_with_observability(
+    config: EvaluationConfig,
+) -> Tuple[List[TrialRecord], Dict[str, dict], SweepTelemetry]:
+    """The fully observed sweep: records, merged metrics, telemetry.
+
+    With ``config.sample_interval`` unset the telemetry is empty and the
+    sweep is exactly :func:`run_evaluation_with_metrics`.  With it set,
+    every sflow cell samples series in sim time; the per-cell banks fold
+    in submission order, so ``workers`` never changes the folded series
+    beyond the histogram-sum rounding caveat (the eval tests assert
+    bit-equality of everything integer), and any ``config.slos`` are
+    graded over the folded bank.
+    """
     payloads = [
         (config, size, trial)
         for size in config.network_sizes
         for trial in range(config.trials)
     ]
-    cell_records, metrics = map_cells_with_metrics(
-        _evaluate_cell, payloads, config.workers
+    cell_results, metrics = map_cells_with_metrics(
+        _observed_cell, payloads, config.workers
     )
     records: List[TrialRecord] = []
-    for cell in cell_records:
-        records.extend(cell)
-    return records, metrics
+    bank: Dict[str, dict] = {}
+    for cell_records, cell_bank in cell_results:
+        records.extend(cell_records)
+        bank = obs_timeseries.merge_banks(bank, cell_bank)
+    telemetry = SweepTelemetry(series=bank)
+    if config.slos:
+        engine = slo_replay(bank, config.slos)
+        telemetry.slo_results = engine.summary()
+        telemetry.alerts = list(engine.alerts)
+    return records, metrics, telemetry
 
 
 def run_scalability(config: EvaluationConfig) -> List[TrialRecord]:

@@ -409,6 +409,10 @@ class GrayFailureConfig:
     #: 0/1 serial, ``n >= 2`` fans the (size, trial) cells over processes,
     #: -1 uses every CPU.  Bit-identical to the serial sweep.
     workers: int = 0
+    #: Optional sim-time metric sampling inside every run (baseline and
+    #: gray arms alike, so the intensity-0 bit-compat check still holds);
+    #: ``None`` keeps the legacy event schedule.
+    sample_interval: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.trials < 1:
@@ -426,6 +430,8 @@ class GrayFailureConfig:
             raise ValueError("required_fraction must be in (0, 1]")
         if self.workers < -1:
             raise ValueError("workers must be >= -1")
+        if self.sample_interval is not None and self.sample_interval <= 0:
+            raise ValueError("sample_interval must be > 0 (or None)")
 
     def instance_range(self, network_size: int) -> Tuple[int, int]:
         per_service = max(1, round(network_size / self.n_services))
@@ -468,6 +474,7 @@ class GrayFailureConfig:
                 if adaptive
                 else None
             ),
+            sample_interval=self.sample_interval,
         )
 
 
@@ -829,6 +836,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="capture a flight recording (JSONL) of the campaign",
     )
+    parser.add_argument(
+        "--sample-interval",
+        type=float,
+        default=None,
+        help="sim-time metric sampling interval (default: sampling off); "
+        "sampled series land in the recording as /2 'series' records",
+    )
     args = parser.parse_args(argv)
 
     from repro import obs
@@ -840,6 +854,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         trials=args.trials,
         seed=args.seed,
         workers=args.workers,
+        sample_interval=args.sample_interval,
     )
     errors_before = obs_metrics.registry().counter("engine.handler_error").total
     context = (

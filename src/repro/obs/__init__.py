@@ -15,6 +15,17 @@ one process-wide layer with three parts:
 * :mod:`repro.obs.recorder` -- the JSONL "flight recorder" sink plus its
   loader; ``python -m repro.tools.trace`` renders recordings.
 
+On top of the base layer sit the telemetry pipeline modules:
+
+* :mod:`repro.obs.timeseries` -- a :class:`SeriesSampler` sim process
+  scraping registry deltas into per-metric ring-buffer series, with
+  downsampling and a parallel-safe bank merge;
+* :mod:`repro.obs.slo` -- declarative :class:`SloSpec` objectives graded
+  over series windows with SRE-style burn-rate alerting;
+* :mod:`repro.obs.export` -- Prometheus text exposition and
+  Chrome/Perfetto trace JSON exporters (CLI: ``repro.tools.trace
+  export``, reports: ``repro.tools.report``).
+
 Typical use::
 
     from repro import obs
@@ -35,8 +46,9 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Union
 
-from repro.obs import metrics, trace
+from repro.obs import export, metrics, slo, timeseries, trace
 from repro.obs.clock import PERF_CLOCK, Lap, Stopwatch
+from repro.obs.export import chrome_trace, prometheus_exposition
 from repro.obs.metrics import (
     MetricsRegistry,
     diff_snapshots,
@@ -44,28 +56,42 @@ from repro.obs.metrics import (
     registry,
 )
 from repro.obs.recorder import Recorder, Recording, load_recording
+from repro.obs.slo import DEFAULT_SLOS, SloEngine, SloSpec, SloStatus
+from repro.obs.timeseries import Series, SeriesSampler, merge_banks
 from repro.obs.trace import NULL_SPAN, SimClock, Span, Tracer, tracer
 
 __all__ = [
+    "DEFAULT_SLOS",
     "Lap",
     "MetricsRegistry",
     "NULL_SPAN",
     "PERF_CLOCK",
     "Recorder",
     "Recording",
+    "Series",
+    "SeriesSampler",
     "SimClock",
+    "SloEngine",
+    "SloSpec",
+    "SloStatus",
     "Span",
     "Stopwatch",
     "Tracer",
     "active_recorder",
+    "chrome_trace",
     "diff_snapshots",
+    "export",
     "load_recording",
+    "merge_banks",
     "merge_snapshots",
     "metrics",
+    "prometheus_exposition",
     "recording",
     "registry",
+    "slo",
     "start_recording",
     "stop_recording",
+    "timeseries",
     "trace",
     "tracer",
 ]

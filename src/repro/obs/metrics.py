@@ -381,6 +381,8 @@ def diff_snapshots(
             if record["values"]:
                 out[name] = _copy_record(record)
         else:
+            if old is not None and old.get("bounds") != record.get("bounds"):
+                raise ValueError(f"histogram {name!r} bounds differ")
             old_values = old["values"] if old else {}
             values = {}
             for labels, series in record["values"].items():

@@ -15,12 +15,19 @@ the metric table without touching the process that produced it.
 
 Record types (one JSON object per line)::
 
-    {"type": "meta",    "format": "sflow-flight-recorder/1", ...}
+    {"type": "meta",    "format": "sflow-flight-recorder/2", ...}
     {"type": "span",    "name", "trace", "span", "parent",
                         "start", "end", "clock", "attrs"}
     {"type": "event",   "name", "trace", "span", "time", "clock", "attrs"}
+    {"type": "series",  "interval", "series": {key: {...}}}  # samplers
+    {"type": "slo",     "specs", "results", "alerts"}        # SLO engines
     {"type": "metrics", "snapshot": {...}}                # at close
     {"type": "summary", "spans", "events", "sessions": [...]}  # at close
+
+Format ``/2`` adds the ``series`` and ``slo`` record types (written by
+:class:`~repro.obs.timeseries.SeriesSampler` and
+:class:`~repro.obs.slo.SloEngine` when a recording is active).  ``/1``
+recordings simply lack them; :func:`load_recording` reads both.
 
 Recording is strictly per-process: a recorder must never be shared with
 multiprocessing workers (forked children would interleave writes).  The
@@ -36,7 +43,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
-FORMAT = "sflow-flight-recorder/1"
+FORMAT = "sflow-flight-recorder/2"
+
+#: Formats :func:`load_recording` understands (``/1`` lacks series/slo).
+COMPATIBLE_FORMATS = ("sflow-flight-recorder/1", "sflow-flight-recorder/2")
 
 
 class Recorder:
@@ -139,6 +149,12 @@ class Recording:
     events: List[Dict[str, Any]] = field(default_factory=list)
     metrics: Dict[str, dict] = field(default_factory=dict)
     summary: Dict[str, Any] = field(default_factory=dict)
+    #: Folded series bank from every ``series`` record (``/2``; empty on ``/1``).
+    series: Dict[str, dict] = field(default_factory=dict)
+    #: The last ``slo`` record (specs/results/alerts), if any.
+    slo: Dict[str, Any] = field(default_factory=dict)
+    #: ``(line_number, message)`` for lines the loader had to skip.
+    errors: List[Any] = field(default_factory=list)
 
     def sessions(self) -> List[Dict[str, Any]]:
         """Root spans (parent is null), in trace order."""
@@ -164,14 +180,26 @@ def load_recording(path: Union[str, Path]) -> Recording:
 
     Unknown record types are ignored (forward compatibility); a recording
     cut short (no metrics/summary footer) still yields its spans/events.
+    Malformed lines -- the usual cause is a process killed mid-write, so
+    the damage is a truncated *final* line -- are skipped and reported via
+    :attr:`Recording.errors` rather than aborting the whole parse.
+    Both ``/1`` and ``/2`` recordings load; ``/1`` just has no
+    series/slo sections.
     """
     recording = Recording()
     with Path(path).open("r", encoding="utf-8") as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:
                 continue
-            record = json.loads(line)
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                recording.errors.append((lineno, f"malformed JSON: {exc}"))
+                continue
+            if not isinstance(record, dict):
+                recording.errors.append((lineno, "record is not an object"))
+                continue
             kind = record.get("type")
             if kind == "meta":
                 recording.meta = record
@@ -179,6 +207,14 @@ def load_recording(path: Union[str, Path]) -> Recording:
                 recording.spans.append(record)
             elif kind == "event":
                 recording.events.append(record)
+            elif kind == "series":
+                from repro.obs.timeseries import merge_banks
+
+                recording.series = merge_banks(
+                    recording.series, record.get("series", {})
+                )
+            elif kind == "slo":
+                recording.slo = record
             elif kind == "metrics":
                 recording.metrics = record.get("snapshot", {})
             elif kind == "summary":

@@ -1,0 +1,261 @@
+"""Per-campaign health report: SLO verdicts, alerts, hottest phases.
+
+Usage::
+
+    python -m repro.tools.report run.jsonl [--top-k N] [--fail-on-alerts]
+        [--out PATH]
+
+Where :mod:`repro.tools.trace` replays a recording span by span, this tool
+*grades* it.  From one flight recording it renders:
+
+* an **SLO pass/fail table** -- the runtime :class:`~repro.obs.slo.SloEngine`
+  verdicts when the recording carries an ``slo`` record, else
+  :data:`~repro.obs.slo.DEFAULT_SLOS` replayed offline over the recorded
+  series bank (``/2`` recordings); a recording with neither is reported as
+  ungradable rather than silently passed;
+* an **alert timeline** -- every burn-rate alert edge in sim-time order,
+  merged from the runtime ``slo.alert``/``slo.alert.resolved`` events and
+  the replay;
+* the **top-k hottest span kinds** -- spans aggregated by name with run
+  counts, total sim-time, and total host seconds from the deterministic
+  phase profiler's ``wall_seconds`` attributes
+  (:data:`~repro.obs.clock.PERF_CLOCK` laps), so the report answers both
+  "where did virtual time go" and "where did my CPU go".
+
+``--fail-on-alerts`` turns the report into a CI gate: exit 1 when any
+graded SLO fired.  The chaos-smoke job runs it over the seeded baseline
+campaign, so a regression that degrades steady-state health fails the
+build even when every functional test still passes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.recorder import Recording
+from repro.obs.slo import DEFAULT_SLOS, SloSpec, replay as slo_replay
+from repro.tools.trace import _load_checked
+
+
+def _span_profile(
+    recording: Recording, top_k: int
+) -> List[Dict[str, Any]]:
+    """Aggregate spans by name: count, total sim time, total host seconds."""
+    profile: Dict[str, Dict[str, Any]] = {}
+    for span in recording.spans:
+        name = span.get("name", "span")
+        row = profile.get(name)
+        if row is None:
+            row = profile[name] = {
+                "name": name,
+                "count": 0,
+                "sim_time": 0.0,
+                "wall_seconds": 0.0,
+            }
+        row["count"] += 1
+        start = float(span.get("start") or 0.0)
+        end = float(span.get("end") or start)
+        if span.get("clock") == "sim":
+            row["sim_time"] += end - start
+        attrs = span.get("attrs") or {}
+        wall = attrs.get("wall_seconds")
+        if isinstance(wall, (int, float)):
+            row["wall_seconds"] += float(wall)
+    rows = sorted(
+        profile.values(),
+        key=lambda r: (-r["sim_time"], -r["wall_seconds"], r["name"]),
+    )
+    return rows[:top_k]
+
+
+def _alert_timeline(
+    recording: Recording, replay_alerts: List[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Runtime alert events merged with replay alerts, in sim-time order.
+
+    A recording graded at runtime *and* replayed would list each alert
+    twice, so runtime events win and replay alerts only fill in when the
+    recording carries no ``slo.alert`` events at all.
+    """
+    runtime: List[Dict[str, Any]] = []
+    for event in recording.events:
+        name = event.get("name", "")
+        if name not in ("slo.alert", "slo.alert.resolved"):
+            continue
+        attrs = event.get("attrs") or {}
+        runtime.append(
+            {
+                "slo": attrs.get("slo", "?"),
+                "time": float(event.get("time") or 0.0),
+                "state": (
+                    "firing" if name == "slo.alert" else "resolved"
+                ),
+                "burn_rate": attrs.get("burn_rate"),
+                "value": attrs.get("value"),
+            }
+        )
+    alerts = runtime if runtime else list(replay_alerts)
+    return sorted(alerts, key=lambda a: (a["time"], a["slo"]))
+
+
+def build_report(
+    recording: Recording,
+    *,
+    specs: Optional[Sequence[SloSpec]] = None,
+    top_k: int = 10,
+) -> Dict[str, Any]:
+    """Grade one recording into a plain-dict report.
+
+    Precedence for the SLO section: an explicit ``specs`` argument always
+    replays; otherwise a runtime ``slo`` record is used verbatim;
+    otherwise :data:`DEFAULT_SLOS` replay over the recorded series; a
+    ``/1`` recording with no series grades nothing (``source: "none"``).
+    """
+    replay_alerts: List[Dict[str, Any]] = []
+    if specs is not None:
+        engine = slo_replay(recording.series, specs)
+        results = engine.summary()
+        replay_alerts = list(engine.alerts)
+        source = "replay"
+    elif recording.slo:
+        results = list(recording.slo.get("results", []))
+        replay_alerts = list(recording.slo.get("alerts", []))
+        source = "runtime"
+    elif recording.series:
+        engine = slo_replay(recording.series, DEFAULT_SLOS)
+        results = engine.summary()
+        replay_alerts = list(engine.alerts)
+        source = "replay"
+    else:
+        results = []
+        source = "none"
+    return {
+        "format": recording.meta.get("format", "unknown"),
+        "source": source,
+        "slo": results,
+        "alerts": _alert_timeline(recording, replay_alerts),
+        "spans": _span_profile(recording, top_k),
+        "series_count": len(recording.series),
+    }
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """The report as one printable text block."""
+    lines: List[str] = [
+        f"campaign health report ({report['format']}, "
+        f"{report['series_count']} series)",
+        "",
+        f"SLOs ({report['source']}):",
+    ]
+    if not report["slo"]:
+        lines.append(
+            "  (nothing to grade: no slo record and no series in recording)"
+        )
+    else:
+        header = (
+            f"  {'verdict':<8} {'slo':<24} {'objective':<26} "
+            f"{'alerts':>6} {'last':>10} {'burn':>8}"
+        )
+        lines.append(header)
+        lines.append("  " + "-" * (len(header) - 2))
+        for row in report["slo"]:
+            verdict = "PASS" if row.get("pass") else "FAIL"
+            lines.append(
+                f"  {verdict:<8} {row.get('slo', '?'):<24} "
+                f"{row.get('objective', ''):<26} "
+                f"{row.get('alerts', 0):>6} "
+                f"{_fmt(row.get('last_value')):>10} "
+                f"{_fmt(row.get('last_burn_rate')):>8}"
+            )
+    lines.append("")
+    lines.append("alert timeline:")
+    if not report["alerts"]:
+        lines.append("  (no burn-rate alerts)")
+    else:
+        for alert in report["alerts"]:
+            lines.append(
+                f"  t={alert['time']:>10g}  {alert['state']:<9} "
+                f"{alert['slo']}  burn_rate={_fmt(alert.get('burn_rate'))}"
+            )
+    lines.append("")
+    lines.append(f"hottest span kinds (top {len(report['spans'])}):")
+    if not report["spans"]:
+        lines.append("  (no spans in recording)")
+    else:
+        lines.append(
+            f"  {'span':<28} {'count':>6} {'sim_time':>12} {'host_s':>10}"
+        )
+        for row in report["spans"]:
+            lines.append(
+                f"  {row['name']:<28} {row['count']:>6} "
+                f"{row['sim_time']:>12g} {row['wall_seconds']:>10.4f}"
+            )
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Render a campaign health report from a flight recording."
+    )
+    parser.add_argument("recording", type=Path, help="recording JSONL file")
+    parser.add_argument(
+        "--top-k",
+        type=int,
+        default=10,
+        metavar="N",
+        help="span kinds to list in the hot-spot table (default 10)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write the rendered report to PATH",
+    )
+    parser.add_argument(
+        "--fail-on-alerts",
+        action="store_true",
+        help="exit 1 when any graded SLO fired a burn-rate alert",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.top_k < 1:
+        print("error: --top-k must be >= 1", file=sys.stderr)
+        return 2
+    recording = _load_checked(args.recording)
+    if recording is None:
+        return 2
+    report = build_report(recording, top_k=args.top_k)
+    text = render_report(report)
+    print(text)
+    if args.out is not None:
+        args.out.write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.fail_on_alerts:
+        failed = [row["slo"] for row in report["slo"] if not row.get("pass")]
+        if failed:
+            print(
+                f"FAIL: burn-rate alerts fired for: {', '.join(failed)}",
+                file=sys.stderr,
+            )
+            return 1
+        print("all graded SLOs passed", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    sys.exit(main())

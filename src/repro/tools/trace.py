@@ -1,9 +1,11 @@
-"""Render a federation flight recording from the command line.
+"""Render or export a federation flight recording from the command line.
 
 Usage::
 
     python -m repro.tools.trace run.jsonl [--session N] [--metrics-only]
         [--no-metrics]
+    python -m repro.tools.trace export run.jsonl [--prom [PATH]]
+        [--chrome-trace [PATH]]
 
 Reads a JSONL recording written by :mod:`repro.obs.recorder` and prints,
 per session (root span): the sim-time window, the outcome attributes the
@@ -12,18 +14,27 @@ merged timeline of child spans and point events in time order.  After the
 sessions comes the metric summary: every counter with its per-label
 totals, every histogram with count/mean.
 
+The ``export`` subcommand converts a recording for external tooling
+instead of rendering it: ``--prom`` writes the recording's metric
+snapshot in the Prometheus text exposition format, ``--chrome-trace``
+writes spans/events/series as Chrome trace-event JSON (load it at
+``ui.perfetto.dev``).  Omitting the PATH writes to stdout.
+
 The recording is self-describing, so this tool never needs the process
 that produced it -- CI records a chaos run, uploads the JSONL, and this
-renderer is the replay.
+renderer is the replay.  Truncated or corrupt lines (a run killed
+mid-write) are skipped with a warning on stderr, never a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.obs.export import chrome_trace, prometheus_exposition
 from repro.obs.recorder import Recording, load_recording
 
 
@@ -181,12 +192,85 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    if not args.recording.exists():
-        print(f"error: no such recording: {args.recording}", file=sys.stderr)
+def build_export_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.trace export",
+        description="Export an sFlow flight recording for external tools.",
+    )
+    parser.add_argument("recording", type=Path, help="recording JSONL file")
+    parser.add_argument(
+        "--prom",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="write the metric snapshot as Prometheus text exposition "
+        "(to PATH, or stdout when omitted)",
+    )
+    parser.add_argument(
+        "--chrome-trace",
+        dest="chrome_trace",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="write spans/events/series as Chrome trace-event JSON "
+        "(to PATH, or stdout when omitted)",
+    )
+    return parser
+
+
+def _load_checked(path: Path) -> Optional[Recording]:
+    """Load a recording, surfacing skipped lines as stderr warnings."""
+    if not path.exists():
+        print(f"error: no such recording: {path}", file=sys.stderr)
+        return None
+    recording = load_recording(path)
+    for lineno, message in recording.errors:
+        print(
+            f"warning: {path}:{lineno}: skipped {message}", file=sys.stderr
+        )
+    return recording
+
+
+def _write_output(text: str, target: str) -> None:
+    if target == "-":
+        sys.stdout.write(text)
+    else:
+        Path(target).write_text(text, encoding="utf-8")
+        print(f"wrote {target}", file=sys.stderr)
+
+
+def export_main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_export_parser().parse_args(argv)
+    if args.prom is None and args.chrome_trace is None:
+        print(
+            "error: nothing to export (pass --prom and/or --chrome-trace)",
+            file=sys.stderr,
+        )
         return 2
-    recording = load_recording(args.recording)
+    recording = _load_checked(args.recording)
+    if recording is None:
+        return 2
+    if args.prom is not None:
+        _write_output(prometheus_exposition(recording.metrics), args.prom)
+    if args.chrome_trace is not None:
+        payload = chrome_trace(recording)
+        _write_output(
+            json.dumps(payload, separators=(",", ":")) + "\n",
+            args.chrome_trace,
+        )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "export":
+        return export_main(argv[1:])
+    args = build_parser().parse_args(argv)
+    recording = _load_checked(args.recording)
+    if recording is None:
+        return 2
     print(
         render(
             recording,

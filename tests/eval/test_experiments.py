@@ -243,3 +243,75 @@ class TestMergedMetrics:
         _, metrics = run_evaluation_with_metrics(config)
         gained = counter.total - before
         assert gained == sum(metrics["sflow.sessions"]["values"].values())
+
+
+class TestSweepTelemetry:
+    """The sampled series bank folds identically across the worker split."""
+
+    CONFIG = EvaluationConfig(
+        network_sizes=(10,), trials=2, n_services=4, seed=3,
+        sample_interval=5.0,
+    )
+
+    def test_parallel_series_bank_is_bit_identical_to_serial(self):
+        from dataclasses import replace as dc_replace
+
+        from repro.eval.experiments import run_evaluation_with_observability
+
+        _, _, serial = run_evaluation_with_observability(self.CONFIG)
+        _, _, parallel = run_evaluation_with_observability(
+            dc_replace(self.CONFIG, workers=2)
+        )
+        assert serial.series  # the sampler actually produced points
+        assert sorted(parallel.series) == sorted(serial.series)
+        for key, expect in serial.series.items():
+            got = parallel.series[key]
+            if expect["kind"] != "histogram":
+                assert got == expect, key
+                continue
+            # Histogram float sums carry the same last-bit caveat as the
+            # snapshot algebra (serial cells subtract deltas off an
+            # accumulated registry; workers start from zero).  Everything
+            # integer -- times, counts, buckets -- must be bit-identical.
+            assert dict(got, points=None) == dict(expect, points=None)
+            assert len(got["points"]) == len(expect["points"])
+            for mine, theirs in zip(got["points"], expect["points"]):
+                t, count, total, buckets = theirs
+                assert mine[0] == t and mine[1] == count
+                assert mine[3] == buckets
+                assert mine[2] == pytest.approx(total)
+
+    def test_unset_interval_keeps_telemetry_empty(self):
+        from dataclasses import replace as dc_replace
+
+        from repro.eval.experiments import run_evaluation_with_observability
+
+        _, _, telemetry = run_evaluation_with_observability(
+            dc_replace(self.CONFIG, sample_interval=None)
+        )
+        assert telemetry.series == {}
+        assert telemetry.slo_results == [] and telemetry.alerts == []
+
+    def test_slos_are_graded_over_the_folded_bank(self):
+        from dataclasses import replace as dc_replace
+
+        from repro.eval.experiments import run_evaluation_with_observability
+        from repro.obs.slo import SloSpec
+
+        spec = SloSpec(
+            name="no-handler-errors", metric="engine.handler_error",
+            objective="<=", threshold=0.0, field="delta", window=100.0,
+            error_budget=0.01, burn_rate_threshold=1.0,
+        )
+        _, _, telemetry = run_evaluation_with_observability(
+            dc_replace(self.CONFIG, slos=(spec,))
+        )
+        (row,) = telemetry.slo_results
+        assert row["slo"] == "no-handler-errors" and row["pass"]
+        assert telemetry.alerts == []
+
+    def test_slos_without_interval_rejected(self):
+        from repro.obs.slo import DEFAULT_SLOS
+
+        with pytest.raises(ValueError):
+            EvaluationConfig(slos=tuple(DEFAULT_SLOS))

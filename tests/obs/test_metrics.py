@@ -164,6 +164,42 @@ class TestSnapshots:
         twin.apply(delta)
         assert twin.snapshot()["c"] == reg.snapshot()["c"]
 
+    def test_merge_kind_conflict_rejected(self):
+        a = {"m": {"kind": "counter", "values": {"": 1.0}}}
+        b = {"m": {"kind": "gauge", "values": {"": 1.0}}}
+        with pytest.raises(ValueError):
+            merge_snapshots(a, b)
+
+    def test_merge_histogram_bounds_mismatch_rejected(self):
+        a = MetricsRegistry()
+        a.histogram("h", buckets=(1.0,)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("h", buckets=(2.0,)).observe(0.5)
+        with pytest.raises(ValueError):
+            merge_snapshots(a.snapshot(), b.snapshot())
+
+    def test_diff_histogram_bounds_mismatch_rejected(self):
+        a = MetricsRegistry()
+        a.histogram("h", buckets=(1.0,)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("h", buckets=(2.0,)).observe(0.5)
+        with pytest.raises(ValueError):
+            diff_snapshots(a.snapshot(), b.snapshot())
+
+    def test_merge_unions_disjoint_label_sets(self):
+        a = MetricsRegistry()
+        a.counter("c").inc(2, kind="x")
+        b = MetricsRegistry()
+        b.counter("c").inc(3, kind="y")
+        merged = merge_snapshots(a.snapshot(), b.snapshot())
+        assert merged["c"]["values"] == {"kind=x": 2.0, "kind=y": 3.0}
+
+    def test_empty_snapshot_identities(self):
+        snap = self._registry().snapshot()
+        assert merge_snapshots(snap, {}) == snap
+        assert merge_snapshots({}, snap) == snap
+        assert diff_snapshots({}, snap) == {}
+
 
 class TestProcessRegistry:
     def test_singleton(self):

@@ -1,0 +1,255 @@
+"""Tests for the SLO engine: specs, burn-rate alerts, replay, defaults."""
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import load_recording
+from repro.obs.slo import DEFAULT_SLOS, SloEngine, SloSpec, replay
+from repro.obs.timeseries import Series, SeriesSampler
+from repro.sim.engine import Environment
+
+
+def gauge_spec(**overrides):
+    base = dict(
+        name="latency",
+        metric="monitor.bottleneck",
+        objective="<=",
+        threshold=10.0,
+        field="value",
+        window=10.0,
+        error_budget=0.5,
+        burn_rate_threshold=2.0,
+    )
+    base.update(overrides)
+    return SloSpec(**base)
+
+
+class _Provider:
+    def __init__(self, *series):
+        self._by_key = {s.key: s for s in series}
+
+    def series(self, metric, labels=""):
+        return self._by_key.get(f"{metric}|{labels}")
+
+
+class TestSloSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gauge_spec(name="")
+        with pytest.raises(ValueError):
+            gauge_spec(objective="==")
+        with pytest.raises(ValueError):
+            gauge_spec(field="p9x")
+        with pytest.raises(ValueError):
+            gauge_spec(window=0.0)
+        with pytest.raises(ValueError):
+            gauge_spec(error_budget=0.0)
+        with pytest.raises(ValueError):
+            gauge_spec(burn_rate_threshold=0.0)
+        with pytest.raises(ValueError):
+            gauge_spec(min_samples=0)
+
+    def test_quantile_fields_parse(self):
+        assert gauge_spec(field="p95").field == "p95"
+        assert gauge_spec(field="p50").field == "p50"
+
+    def test_good_by_objective(self):
+        le = gauge_spec(objective="<=", threshold=5.0)
+        assert le.good(5.0) and not le.good(5.1)
+        ge = gauge_spec(objective=">=", threshold=5.0)
+        assert ge.good(5.0) and not ge.good(4.9)
+
+    def test_dict_roundtrip(self):
+        spec = gauge_spec(field="p95", labels="k=v")
+        assert SloSpec.from_dict(spec.as_dict()) == spec
+
+    def test_from_dict_ignores_unknown_keys(self):
+        record = gauge_spec().as_dict()
+        record["extra"] = "future-field"
+        assert SloSpec.from_dict(record) == gauge_spec()
+
+
+class TestSloEngine:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            SloEngine([gauge_spec(), gauge_spec()], registry=MetricsRegistry())
+
+    def test_fire_and_resolve_edges(self):
+        spec = gauge_spec()
+        engine = SloEngine([spec], registry=MetricsRegistry())
+        series = Series("monitor.bottleneck", "gauge")
+        provider = _Provider(series)
+
+        series.append((1.0, 5.0, 5.0, 5.0))
+        (status,) = engine.observe(1.0, provider)
+        assert status.ok and not status.firing and engine.firing() == []
+
+        series.append((2.0, 50.0, 50.0, 50.0))  # violating: 1/2 bad
+        (status,) = engine.observe(2.0, provider)
+        # error_rate 0.5 / budget 0.5 = burn 1.0 < 2.0: not firing yet.
+        assert status.burn_rate == pytest.approx(1.0)
+        assert not status.firing
+
+        # Burn must reach error_rate/budget >= 2.0, i.e. an all-bad window.
+        for t in (3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0):
+            series.append((t, 60.0, 60.0, 60.0))
+        (status,) = engine.observe(11.0, provider)
+        # Window (1, 11] holds only violating samples: burn 1/0.5 = 2.0.
+        assert status.burn_rate == pytest.approx(2.0)
+        assert status.firing and engine.firing() == ["latency"]
+
+        # One good sample drops the burn below the threshold: resolved.
+        series.append((12.0, 1.0, 1.0, 1.0))
+        (status,) = engine.observe(12.0, provider)
+        assert not status.firing and engine.firing() == []
+
+        states = [(a["state"], a["time"]) for a in engine.alerts]
+        assert states == [("firing", 11.0), ("resolved", 12.0)]
+
+    def test_alert_edge_fires_once_not_per_sample(self):
+        engine = SloEngine([gauge_spec()], registry=MetricsRegistry())
+        series = Series("monitor.bottleneck", "gauge")
+        provider = _Provider(series)
+        for t in (1.0, 2.0, 3.0):
+            series.append((t, 99.0, 99.0, 99.0))
+            engine.observe(t, provider)
+        assert len(engine.alerts) == 1
+
+    def test_min_samples_suppresses_thin_windows(self):
+        spec = gauge_spec(min_samples=3)
+        engine = SloEngine([spec], registry=MetricsRegistry())
+        series = Series("monitor.bottleneck", "gauge")
+        provider = _Provider(series)
+        series.append((1.0, 99.0, 99.0, 99.0))
+        (status,) = engine.observe(1.0, provider)
+        assert status.burn_rate >= 2.0 and not status.firing
+
+    def test_absent_counter_reads_as_zero(self):
+        spec = gauge_spec(
+            name="errors", metric="engine.handler_error", field="delta",
+            threshold=0.0, objective="<=",
+        )
+        engine = SloEngine([spec], registry=MetricsRegistry())
+        (status,) = engine.observe(5.0, _Provider())
+        assert status.ok and status.value == 0.0
+
+    def test_absent_gauge_is_not_evaluated(self):
+        engine = SloEngine([gauge_spec()], registry=MetricsRegistry())
+        assert engine.observe(5.0, _Provider()) == []
+        assert engine.summary()[0]["evaluations"] == 0
+
+    def test_on_alert_hook_runs_on_the_edge(self):
+        hits = []
+        engine = SloEngine(
+            [gauge_spec()],
+            registry=MetricsRegistry(),
+            on_alert=lambda spec, status: hits.append((spec.name, status.time)),
+        )
+        series = Series("monitor.bottleneck", "gauge")
+        provider = _Provider(series)
+        for t in (1.0, 2.0):
+            series.append((t, 99.0, 99.0, 99.0))
+            engine.observe(t, provider)
+        assert hits == [("latency", 1.0)]
+
+    def test_slo_metrics_are_registered_and_updated(self):
+        reg = MetricsRegistry()
+        engine = SloEngine([gauge_spec()], registry=reg)
+        series = Series("monitor.bottleneck", "gauge")
+        series.append((1.0, 99.0, 99.0, 99.0))
+        engine.observe(1.0, _Provider(series))
+        assert reg.counter("slo.evaluations").value(slo="latency", ok="false") == 1.0
+        assert reg.counter("slo.alerts").value(slo="latency") == 1.0
+        assert reg.gauge("slo.burn_rate").value(slo="latency") == 2.0
+
+    def test_summary_passes_only_without_alerts(self):
+        engine = SloEngine([gauge_spec()], registry=MetricsRegistry())
+        series = Series("monitor.bottleneck", "gauge")
+        provider = _Provider(series)
+        series.append((1.0, 1.0, 1.0, 1.0))
+        engine.observe(1.0, provider)
+        assert engine.summary()[0]["pass"] is True
+        # Observe far enough out that the window holds only bad samples.
+        series.append((12.0, 99.0, 99.0, 99.0))
+        series.append((13.0, 99.0, 99.0, 99.0))
+        engine.observe(13.0, provider)
+        row = engine.summary()[0]
+        assert row["pass"] is False and row["alerts"] == 1
+        assert row["objective"] == "value <= 10.0"
+
+    def test_histogram_quantile_objective(self):
+        spec = gauge_spec(
+            metric="sflow.federation.sim_time", field="p95",
+            threshold=100.0, window=50.0,
+        )
+        engine = SloEngine([spec], registry=MetricsRegistry())
+        series = Series(
+            "sflow.federation.sim_time", "histogram", bounds=(50.0, 500.0)
+        )
+        series.append((10.0, 10, 200.0, [10, 0, 0]))
+        (status,) = engine.observe(10.0, _Provider(series))
+        assert status.ok
+        series.append((20.0, 10, 4000.0, [0, 10, 0]))
+        (status,) = engine.observe(20.0, _Provider(series))
+        assert not status.ok
+
+    def test_alert_events_reach_the_recorder(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with obs.recording(path):
+            engine = SloEngine([gauge_spec()], registry=MetricsRegistry())
+            series = Series("monitor.bottleneck", "gauge")
+            series.append((7.0, 99.0, 99.0, 99.0))
+            engine.observe(7.0, _Provider(series))
+        recording = load_recording(path)
+        (event,) = [e for e in recording.events if e["name"] == "slo.alert"]
+        assert event["time"] == 7.0
+        assert event["clock"] == "sim"
+        assert event["attrs"]["slo"] == "latency"
+
+
+class TestReplay:
+    def _bank(self):
+        env = Environment()
+        reg = MetricsRegistry()
+        gauge = reg.gauge("monitor.bottleneck")
+
+        def work():
+            for value in (5.0, 50.0, 60.0, 70.0, 5.0):
+                gauge.set(value)
+                yield env.timeout(1.0)
+
+        sampler = SeriesSampler(env, interval=1.0, registry=reg)
+        sampler.install()
+        env.process(work())
+        env.run()
+        return sampler.bank()
+
+    def test_replay_matches_runtime_grading(self):
+        bank = self._bank()
+        engine = replay(bank, [gauge_spec(error_budget=0.25)])
+        assert engine.summary()[0]["alerts"] >= 1
+        assert [a["state"] for a in engine.alerts][0] == "firing"
+
+    def test_replay_is_deterministic(self):
+        bank = self._bank()
+        first = replay(bank, [gauge_spec(error_budget=0.25)])
+        second = replay(bank, [gauge_spec(error_budget=0.25)])
+        assert first.summary() == second.summary()
+        assert first.alerts == second.alerts
+
+    def test_replay_of_empty_bank_grades_counters_only(self):
+        engine = replay({}, list(DEFAULT_SLOS))
+        rows = {row["slo"]: row for row in engine.summary()}
+        assert all(row["pass"] for row in rows.values())
+        # With no sample times at all, nothing is ever evaluated.
+        assert all(row["evaluations"] == 0 for row in rows.values())
+
+    def test_default_slos_have_unique_names(self):
+        names = [spec.name for spec in DEFAULT_SLOS]
+        assert len(names) == len(set(names))
+        SloEngine(DEFAULT_SLOS, registry=MetricsRegistry())  # constructs
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,323 @@
+"""Tests for the sim-time series pipeline: Series, banks, SeriesSampler."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import (
+    Series,
+    SeriesSampler,
+    bank_series,
+    merge_banks,
+    series_key,
+)
+from repro.sim.engine import Environment
+
+
+def _sleep(env, delay):
+    yield env.timeout(delay)
+
+
+class TestSeries:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Series("m", "meter")
+
+    def test_histogram_requires_bounds(self):
+        with pytest.raises(ValueError):
+            Series("m", "histogram")
+
+    def test_time_going_backwards_rejected(self):
+        series = Series("m", "counter")
+        series.append((5.0, 1.0))
+        with pytest.raises(ValueError):
+            series.append((4.0, 1.0))
+        series.append((5.0, 2.0))  # equal times are legal
+
+    def test_window_is_half_open(self):
+        series = Series("m", "counter")
+        for t in (1.0, 2.0, 3.0, 4.0):
+            series.append((t, 1.0))
+        assert [p[0] for p in series.window(1.0, 3.0)] == [2.0, 3.0]
+
+    def test_counter_accessors(self):
+        series = Series("m", "counter", interval=2.0)
+        series.append((2.0, 4.0))
+        series.append((4.0, 6.0))
+        assert series.values() == [4.0, 6.0]
+        assert series.rate() == [(2.0, 2.0), (4.0, 3.0)]
+        assert series.total() == 10.0
+        with pytest.raises(ValueError):
+            series.latest()
+
+    def test_gauge_accessors(self):
+        series = Series("m", "gauge")
+        assert series.latest() is None
+        series.append((1.0, 5.0, 4.0, 6.0))
+        series.append((2.0, 3.0, 2.0, 8.0))
+        assert series.latest() == 3.0
+        assert series.minimum() == 2.0
+        assert series.maximum() == 8.0
+        with pytest.raises(ValueError):
+            series.total()
+
+    def test_ring_buffer_drops_oldest(self):
+        series = Series("m", "counter", capacity=3)
+        for t in range(5):
+            series.append((float(t), 1.0))
+        assert series.times() == [2.0, 3.0, 4.0]
+
+    def test_histogram_mean_and_quantile(self):
+        series = Series("m", "histogram", bounds=(10.0, 100.0))
+        # 4 observations <= 10, 4 in (10, 100]: p50 at the bucket edge.
+        series.append((1.0, 4, 20.0, [4, 0, 0]))
+        series.append((2.0, 4, 200.0, [0, 4, 0]))
+        assert series.mean() == pytest.approx(27.5)
+        assert series.quantile(0.5) == pytest.approx(10.0)
+        assert series.quantile(1.0) == pytest.approx(100.0)
+        with pytest.raises(ValueError):
+            series.quantile(1.5)
+
+    def test_quantile_overflow_clamps_to_last_bound(self):
+        series = Series("m", "histogram", bounds=(10.0,))
+        series.append((1.0, 2, 600.0, [0, 2]))  # both in overflow
+        assert series.quantile(0.95) == 10.0
+
+    def test_quantile_windowed(self):
+        series = Series("m", "histogram", bounds=(10.0, 100.0))
+        series.append((1.0, 10, 1000.0, [0, 10, 0]))  # old, slow
+        series.append((50.0, 10, 50.0, [10, 0, 0]))  # recent, fast
+        recent = series.quantile(0.95, window=10.0, now=50.0)
+        overall = series.quantile(0.95)
+        assert recent <= 10.0 < overall
+
+    def test_quantile_of_empty_window_is_none(self):
+        series = Series("m", "histogram", bounds=(10.0,))
+        assert series.quantile(0.5) is None
+        assert series.mean() is None
+
+    def test_downsample_counter_sums_within_slots(self):
+        series = Series("m", "counter", interval=1.0)
+        for t, v in ((1.0, 1.0), (2.0, 2.0), (3.0, 3.0), (4.0, 4.0)):
+            series.append((t, v))
+        down = series.downsample(2.0)
+        assert down.points() == [(2.0, 3.0), (4.0, 7.0)]
+        assert down.interval == 2.0
+
+    def test_downsample_gauge_keeps_last_min_max(self):
+        series = Series("m", "gauge")
+        series.append((1.0, 5.0, 5.0, 5.0))
+        series.append((2.0, 1.0, 1.0, 1.0))
+        down = series.downsample(2.0)
+        assert down.points() == [(2.0, 1.0, 1.0, 5.0)]
+
+    def test_downsample_is_idempotent_at_same_window(self):
+        series = Series("m", "counter")
+        for t in (0.5, 1.0, 1.5, 2.0, 3.0):
+            series.append((t, 1.0))
+        once = series.downsample(2.0)
+        assert once.downsample(2.0).points() == once.points()
+
+    def test_dict_roundtrip(self):
+        series = Series("m", "histogram", labels="k=v", bounds=(1.0, 2.0))
+        series.append((1.0, 1, 0.5, [1, 0, 0]))
+        twin = Series.from_dict(series.as_dict())
+        assert twin.as_dict() == series.as_dict()
+        assert twin.key == series_key("m", "k=v")
+
+
+class TestMergeBanks:
+    def _bank(self, scale=1.0):
+        counter = Series("c", "counter")
+        counter.append((2.0, 2.0 * scale))
+        counter.append((4.0, 4.0 * scale))
+        gauge = Series("g", "gauge")
+        gauge.append((2.0, scale, scale, scale))
+        hist = Series("h", "histogram", bounds=(10.0,))
+        hist.append((2.0, 1, 5.0 * scale, [1, 0]))
+        return {s.key: s.as_dict() for s in (counter, gauge, hist)}
+
+    def test_equal_times_combine(self):
+        merged = merge_banks(self._bank(1.0), self._bank(2.0))
+        counter = bank_series(merged, "c")
+        assert counter.points() == [(2.0, 6.0), (4.0, 12.0)]
+        gauge = bank_series(merged, "g")
+        assert gauge.points() == [(2.0, 2.0, 1.0, 2.0)]  # b's write, min/max
+        hist = bank_series(merged, "h")
+        assert hist.points() == [(2.0, 2, 15.0, [2, 0])]
+
+    def test_disjoint_times_interleave(self):
+        a = {"c|": Series("c", "counter").as_dict()}
+        a["c|"]["points"] = [[1.0, 1.0], [3.0, 3.0]]
+        b = {"c|": Series("c", "counter").as_dict()}
+        b["c|"]["points"] = [[2.0, 2.0], [4.0, 4.0]]
+        merged = merge_banks(a, b)
+        assert merged["c|"]["points"] == [
+            [1.0, 1.0], [2.0, 2.0], [3.0, 3.0], [4.0, 4.0],
+        ]
+
+    def test_merge_does_not_mutate_inputs(self):
+        a, b = self._bank(), self._bank()
+        before = [list(p) for p in a["c|"]["points"]]
+        merge_banks(a, b)
+        assert [list(p) for p in a["c|"]["points"]] == before
+
+    def test_kind_mismatch_rejected(self):
+        a = {"x|": Series("x", "counter").as_dict()}
+        b = {"x|": Series("x", "gauge").as_dict()}
+        with pytest.raises(ValueError):
+            merge_banks(a, b)
+
+    def test_bounds_mismatch_rejected(self):
+        a = {"h|": Series("h", "histogram", bounds=(1.0,)).as_dict()}
+        b = {"h|": Series("h", "histogram", bounds=(2.0,)).as_dict()}
+        with pytest.raises(ValueError):
+            merge_banks(a, b)
+
+    def test_disjoint_keys_union(self):
+        a = {"a|": Series("a", "counter").as_dict()}
+        b = {"b|": Series("b", "counter").as_dict()}
+        assert sorted(merge_banks(a, b)) == ["a|", "b|"]
+
+    def test_empty_bank_is_identity(self):
+        bank = self._bank()
+        assert merge_banks(bank, {}) == bank
+        assert merge_banks({}, bank) == bank
+
+    def test_fold_order_associativity(self):
+        banks = [self._bank(s) for s in (1.0, 2.0, 3.0)]
+        left = merge_banks(merge_banks(banks[0], banks[1]), banks[2])
+        right = merge_banks(banks[0], merge_banks(banks[1], banks[2]))
+        assert left == right
+
+
+class TestSeriesSampler:
+    def test_needs_env_or_clock(self):
+        with pytest.raises(ValueError):
+            SeriesSampler()
+        with pytest.raises(ValueError):
+            SeriesSampler(Environment(), interval=0.0)
+
+    def test_counter_deltas_per_interval(self):
+        env = Environment()
+        reg = MetricsRegistry()
+        counter = reg.counter("sflow.test.sent")
+
+        def work():
+            for step in range(1, 5):
+                counter.inc(step)
+                yield env.timeout(2.0)
+
+        sampler = SeriesSampler(env, interval=2.0, registry=reg)
+        sampler.install()
+        env.process(work())
+        env.run()
+        series = sampler.series("sflow.test.sent")
+        assert series.points() == [(2.0, 1.0), (4.0, 2.0), (6.0, 3.0), (8.0, 4.0)]
+        assert series.total() == counter.total
+
+    def test_idle_intervals_cost_no_points(self):
+        env = Environment()
+        reg = MetricsRegistry()
+        counter = reg.counter("sflow.test.sent")
+
+        def work():
+            counter.inc()
+            yield env.timeout(20.0)
+            counter.inc()
+            yield env.timeout(1.0)
+
+        sampler = SeriesSampler(env, interval=2.0, registry=reg)
+        sampler.install()
+        env.process(work())
+        env.run()
+        series = sampler.series("sflow.test.sent")
+        # Only the scrapes that saw a change hold points.
+        assert len(series) == 2
+        assert series.total() == 2.0
+
+    def test_sampler_parks_instead_of_starving_the_queue(self):
+        env = Environment()
+        sampler = SeriesSampler(env, interval=1.0, registry=MetricsRegistry())
+        sampler.install()
+        env.process(_sleep(env, 3.5))
+        env.run()  # terminates: the sampler must not self-reschedule forever
+        assert env.now == 4.0  # one scrape past the last real event, then park
+
+    def test_final_manual_sample_is_same_time_safe(self):
+        env = Environment()
+        reg = MetricsRegistry()
+        counter = reg.counter("sflow.test.sent")
+
+        def work():
+            counter.inc()
+            yield env.timeout(2.0)
+
+        sampler = SeriesSampler(env, interval=2.0, registry=reg)
+        sampler.install()
+        env.process(work())
+        env.run()
+        scrapes = sampler.samples
+        sampler.sample()  # coincides with the last tick: no-op
+        assert sampler.samples == scrapes
+        counter.inc(5)
+        sampler.sample()  # still the same sim time, but nothing new ticked
+        assert sampler.samples == scrapes
+
+    def test_observers_run_after_each_scrape(self):
+        env = Environment()
+        reg = MetricsRegistry()
+        seen = []
+        sampler = SeriesSampler(env, interval=1.0, registry=reg)
+        sampler.add_observer(lambda now, s: seen.append(now))
+        sampler.install()
+        env.process(_sleep(env, 2.5))
+        env.run()
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_bank_roundtrip_and_emit(self):
+        env = Environment()
+        reg = MetricsRegistry()
+        hist = reg.histogram("sflow.test.lat", buckets=(1.0,))
+
+        def work():
+            hist.observe(0.5)
+            yield env.timeout(1.0)
+
+        sampler = SeriesSampler(env, interval=1.0, registry=reg)
+        sampler.install()
+        env.process(work())
+        env.run()
+        bank = sampler.bank()
+        assert sampler.keys() == sorted(bank)
+        rebuilt = bank_series(bank, "sflow.test.lat")
+        assert rebuilt.bounds == (1.0,)
+        records = []
+
+        class Sink:
+            def emit(self, record):
+                records.append(record)
+
+        sampler.emit(Sink())
+        assert records[0]["type"] == "series"
+        assert records[0]["interval"] == 1.0
+        assert records[0]["series"] == bank
+
+    def test_merging_a_bank_with_itself_doubles_counters(self):
+        env = Environment()
+        reg = MetricsRegistry()
+
+        def work():
+            reg.counter("sflow.test.sent").inc(3)
+            yield env.timeout(1.0)
+
+        sampler = SeriesSampler(env, interval=1.0, registry=reg)
+        sampler.install()
+        env.process(work())
+        env.run()
+        bank = sampler.bank()
+        doubled = merge_banks(bank, bank)
+        assert bank_series(doubled, "sflow.test.sent").total() == 6.0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,42 @@
+# sflow: module=repro.core.fixture
+"""Seeded fixture: SFL011 fires on leaked tracer spans only."""
+
+
+def bad_discarded_span(tracer):
+    tracer.session("sflow.federate")  # SFL011 -- fresh span thrown away
+    return 1
+
+
+def bad_leaked_local(tracer):
+    probe = tracer.session("monitor.probe")  # SFL011 -- never ended
+    probe.event("tick")
+    return 2
+
+
+def bad_leaked_child(span):
+    phase = span.child("negotiate")  # SFL011 -- never ended
+    phase.set(generation=1)
+
+
+def ok_context_managed(tracer):
+    with tracer.session("sflow.federate") as span:
+        span.event("start")
+
+
+def ok_local_ended(span):
+    negotiate = span.child("negotiate")
+    negotiate.end(generations=3)
+
+
+def ok_chained_end(span, seconds):
+    span.child("discovery").end(wall_seconds=seconds)
+
+
+def ok_attribute_lifecycle(self, tracer):
+    # Cross-method lifecycle: run() ends what this opened.
+    self._span = tracer.session("sflow.federate")
+
+
+def ok_handed_off(tracer, registry):
+    span = tracer.session("monitor.probe")
+    registry.adopt(span)

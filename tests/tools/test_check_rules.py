@@ -108,6 +108,12 @@ def test_sfl010_out_of_scope_module_is_exempt():
     assert codes_in(found) == ["SFL010"]
 
 
+def test_sfl011_fixture_fires_on_leaked_spans_only():
+    violations = check_file(FIXTURES / "sfl011_span_leak.py")
+    assert codes_in(violations) == ["SFL011"] * 3
+    assert [v.line for v in violations] == [6, 11, 17]
+
+
 def test_suppression_fixture_waives_with_justification_only():
     violations = check_file(FIXTURES / "suppressions.py")
     # waived(): suppressed cleanly.  bare_waiver(): SFL000 (no reason) and
@@ -246,6 +252,31 @@ def test_dataclass_field_default_factory_is_clean():
         "from dataclasses import dataclass, field\n"
         "@dataclass\nclass C:\n"
         "    xs: list = field(default_factory=list)\n"
+    )
+    assert check_source(src, module="repro.core.x") == []
+
+
+def test_span_rule_exempts_attribute_lifecycle_and_tracer_module():
+    src = (
+        "def start(self, tracer):\n"
+        "    self._span = tracer.session('sflow.federate')\n"
+        "def phases(self, dt):\n"
+        "    self._span.child('discovery').end(wall_seconds=dt)\n"
+    )
+    assert check_source(src, module="repro.core.x") == []
+    leak = "def f(tracer):\n    s = tracer.session('x')\n    s.event('t')\n"
+    assert codes_in(check_source(leak, module="repro.core.x")) == ["SFL011"]
+    # The tracer implementation itself builds spans without ending them.
+    assert check_source(leak, module="repro.obs.trace") == []
+
+
+def test_span_rule_nested_function_scopes_are_analysed_separately():
+    src = (
+        "def outer(tracer):\n"
+        "    def helper():\n"
+        "        s = tracer.session('x')\n"
+        "        s.end()\n"
+        "    return helper\n"
     )
     assert check_source(src, module="repro.core.x") == []
 

@@ -1,11 +1,14 @@
 """Tests for the flight-recording renderer CLI (repro.tools.trace)."""
 
+import json
+
 import pytest
 
 from repro import obs
 from repro.core.sflow import SFlowAlgorithm, SFlowConfig
 from repro.network.failures import ChaosPlan, CrashEvent, CrashSchedule
 from repro.services.workloads import travel_agency_scenario
+from repro.tools.report import main as report_main
 from repro.tools.trace import main as trace_main, render
 
 
@@ -123,3 +126,130 @@ class TestMain:
     def test_missing_file_is_an_error(self, tmp_path, capsys):
         assert trace_main([str(tmp_path / "nope.jsonl")]) == 2
         assert "no such recording" in capsys.readouterr().err
+
+
+class TestDamagedRecordings:
+    def test_truncated_line_warns_but_renders(self, tmp_path, capsys):
+        path = tmp_path / "trunc.jsonl"
+        path.write_text(
+            '{"type":"meta","format":"sflow-flight-recorder/2"}\n'
+            '{"type":"event","name":"recovery.crash","trace":1,"span":1,'
+            '"time":1.0,"clock":"sim","attrs":{}}\n'
+            '{"type":"span","name":"half-writ'
+        )
+        assert trace_main([str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "skipped malformed JSON" in captured.err
+        assert "flight recording" in captured.out
+
+    def test_empty_recording_renders_nothing_but_exits_zero(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert trace_main([str(path)]) == 0
+        assert capsys.readouterr().err == ""
+
+
+class TestExportCLI:
+    def test_prom_to_file(self, recorded_run, tmp_path, capsys):
+        path, _, _ = recorded_run
+        out = tmp_path / "metrics.prom"
+        assert trace_main(["export", str(path), "--prom", str(out)]) == 0
+        text = out.read_text()
+        assert "channel_messages_total" in text
+        assert "# TYPE" in text
+        assert f"wrote {out}" in capsys.readouterr().err
+
+    def test_chrome_trace_to_stdout_is_valid_json(self, recorded_run, capsys):
+        path, _, _ = recorded_run
+        assert trace_main(["export", str(path), "--chrome-trace"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert "sflow.federate" in names
+
+    def test_both_exports_in_one_call(self, recorded_run, tmp_path):
+        path, _, _ = recorded_run
+        prom = tmp_path / "m.prom"
+        chrome = tmp_path / "t.json"
+        assert trace_main(
+            ["export", str(path), "--prom", str(prom),
+             "--chrome-trace", str(chrome)]
+        ) == 0
+        assert prom.exists() and chrome.exists()
+        json.loads(chrome.read_text())
+
+    def test_no_format_flag_is_an_error(self, recorded_run, capsys):
+        path, _, _ = recorded_run
+        assert trace_main(["export", str(path)]) == 2
+        assert "nothing to export" in capsys.readouterr().err
+
+    def test_missing_file_is_an_error(self, tmp_path, capsys):
+        assert trace_main(
+            ["export", str(tmp_path / "nope.jsonl"), "--prom"]
+        ) == 2
+        assert "no such recording" in capsys.readouterr().err
+
+
+class TestReportCLI:
+    def _write(self, tmp_path, *, alerts):
+        """A /2 recording whose runtime slo record passes or fails."""
+        path = tmp_path / "run.jsonl"
+        row = {
+            "slo": "latency", "objective": "value <= 10.0",
+            "pass": not alerts, "alerts": len(alerts),
+            "evaluations": 4, "last_value": 2.0, "last_burn_rate": 0.0,
+        }
+        lines = [
+            {"type": "meta", "format": "sflow-flight-recorder/2"},
+            {"type": "slo", "specs": [], "results": [row], "alerts": alerts},
+        ]
+        path.write_text("".join(json.dumps(l) + "\n" for l in lines))
+        return path
+
+    def test_pass_renders_and_gate_exits_zero(self, tmp_path, capsys):
+        path = self._write(tmp_path, alerts=[])
+        assert report_main([str(path), "--fail-on-alerts"]) == 0
+        captured = capsys.readouterr()
+        assert "PASS" in captured.out
+        assert "SLOs (runtime):" in captured.out
+        assert "all graded SLOs passed" in captured.err
+
+    def test_fail_on_alerts_exits_one(self, tmp_path, capsys):
+        alert = {"slo": "latency", "state": "firing", "time": 5.0,
+                 "burn_rate": 3.0}
+        path = self._write(tmp_path, alerts=[alert])
+        assert report_main([str(path), "--fail-on-alerts"]) == 1
+        captured = capsys.readouterr()
+        assert "FAIL" in captured.out
+        assert "t=         5  firing" in captured.out
+        assert "burn-rate alerts fired for: latency" in captured.err
+
+    def test_alerts_without_gate_flag_still_exit_zero(self, tmp_path):
+        alert = {"slo": "latency", "state": "firing", "time": 5.0,
+                 "burn_rate": 3.0}
+        assert report_main([str(self._write(tmp_path, alerts=[alert]))]) == 0
+
+    def test_top_k_must_be_positive(self, tmp_path, capsys):
+        path = self._write(tmp_path, alerts=[])
+        assert report_main([str(path), "--top-k", "0"]) == 2
+        assert "--top-k" in capsys.readouterr().err
+
+    def test_out_writes_the_rendered_report(self, tmp_path, capsys):
+        path = self._write(tmp_path, alerts=[])
+        out = tmp_path / "health.txt"
+        assert report_main([str(path), "--out", str(out)]) == 0
+        assert out.read_text() == capsys.readouterr().out
+
+    def test_missing_file_is_an_error(self, tmp_path, capsys):
+        assert report_main([str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such recording" in capsys.readouterr().err
+
+    def test_replay_source_when_only_series_present(
+        self, recorded_run, capsys
+    ):
+        path, _, _ = recorded_run
+        assert report_main([str(path)]) == 0
+        out = capsys.readouterr().out
+        # The CLI fixture records no sampler bank: nothing to grade.
+        assert "SLOs (none):" in out or "SLOs (replay):" in out
