@@ -14,6 +14,10 @@ run, exactly like the paper's single simulation campaign.  Run with::
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+import time
 from pathlib import Path
 
 import pytest
@@ -92,3 +96,36 @@ def emit(table: FigureTable) -> None:
     print(format_table(table))
     path = write_csv(table, RESULTS_DIR)
     print(f"  -> {path}")
+
+
+def write_bench_record(filename: str, section: str, payload: dict) -> Path:
+    """Merge one benchmark's numbers into a JSON record under results/.
+
+    Machine-readable counterpart of the ``-s`` console tables, so the perf
+    trajectory is trackable across PRs (``perf_oracle.json`` set the
+    pattern).  Each test owns one ``section``: a partial run (``-k``)
+    updates only what it measured, while the shared metadata (python, cpu,
+    timestamp) refreshes on every write.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / filename
+    record: dict = {}
+    if path.exists():
+        try:
+            record = json.loads(path.read_text())
+        except ValueError:
+            record = {}
+    record["generated_at"] = time.strftime(
+        "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+    )
+    record["python"] = platform.python_version()
+    record["cpu_count"] = os.cpu_count()
+    record[section] = payload
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+@pytest.fixture
+def bench_record():
+    """The :func:`write_bench_record` helper, as a fixture."""
+    return write_bench_record

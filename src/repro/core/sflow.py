@@ -526,14 +526,16 @@ class _SFlowNode:
             expected = max(1, self.fed.requirement.in_degree(self.me.sid))
             if len(self.inbox) < expected:
                 continue
-            self._activate()
+            self._activate(envelope.mid)
 
-    def _activate(self) -> None:
+    def _activate(self, cause: int = 0) -> None:
         fed = self.fed
         my_sid = self.me.sid
         fed.node_activations += 1
         _M_ACTIVATIONS.inc()
-        fed._span.event("node.activate", instance=str(self.me))
+        # ``cause`` is the network msg_id of the delivery that completed
+        # this node's in-degree -- the causal profiler's join key.
+        fed._span.event("node.activate", instance=str(self.me), cause=cause)
         pins: Dict[Sid, ServiceInstance] = {}
         pin_gens: Dict[Sid, int] = {}
         edges: Dict[Tuple[Sid, Sid], FlowEdge] = {}
@@ -1504,6 +1506,10 @@ class _Federation:
             source=str(self.source_instance),
             chaos=self.chaos is not None,
         )
+        # Causal stamping: while the session span is live, the transport
+        # tags every send/deliver with a msg_id so the profiler can join
+        # activations back through each hop (repro.obs.causal).
+        self.network.set_trace_span(self._span)
         # Setup happened before the DES clock started ticking: report the
         # discovery and abstract-graph phases as zero-length sim-time spans
         # carrying their wall-clock cost.
@@ -1603,6 +1609,7 @@ class _Federation:
             recovery_latency=recovery_latency,
             failure_reason=self.failure_reason,
         )
+        self.network.set_trace_span(None)
         self._span = NULL_SPAN
         return SFlowResult(
             flow_graph=graph,

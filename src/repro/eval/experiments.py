@@ -14,6 +14,7 @@ optimal service flow graph for non-simple service requirements"; use
 
 from __future__ import annotations
 
+import io
 import multiprocessing
 import os
 import random
@@ -30,7 +31,15 @@ from repro.core.sflow import SFlowAlgorithm, SFlowConfig
 from repro.errors import FederationError
 from repro.obs import metrics as obs_metrics
 from repro.obs import timeseries as obs_timeseries
+from repro.obs.causal import (
+    CampaignProfile,
+    aggregate_profiles,
+    merge_campaigns,
+    profile_recording,
+)
 from repro.obs.clock import Stopwatch
+from repro.obs.recorder import Recorder, parse_recording
+from repro.obs.trace import tracer as obs_tracer
 from repro.obs.slo import SloSpec, replay as slo_replay
 from repro.routing.oracle import RouteOracle
 from repro.services.flowgraph import ServiceFlowGraph
@@ -445,6 +454,65 @@ def map_cells_with_metrics(
     if pool_size != 0:
         obs_metrics.registry().apply(merged)
     return [cell for cell, _ in results], merged
+
+
+class _ProfiledCell:
+    """Picklable wrapper: run a cell under a private in-memory recorder.
+
+    The cell's federations trace into a per-cell ``StringIO`` recording
+    (the tracer's previous sink is saved and restored, so an outer
+    recording -- if any -- is shadowed for the cell, never closed), which
+    is then causally profiled *inside the cell*.  Only the folded
+    :class:`~repro.obs.causal.CampaignProfile` travels back to the parent:
+    cheap to pickle, and its submission-order merge is plain float
+    addition, so pooled sweeps aggregate bit-identically to serial ones.
+    """
+
+    def __init__(self, worker) -> None:
+        self.worker = worker
+
+    def __call__(self, payload) -> Tuple[object, CampaignProfile]:
+        buffer = io.StringIO()
+        active = obs_tracer()
+        previous = active.sink
+        recorder = Recorder(buffer)
+        active.set_sink(recorder)
+        try:
+            result = self.worker(payload)
+        finally:
+            active.set_sink(previous)
+            recorder.close()
+        recording = parse_recording(buffer.getvalue().splitlines())
+        profile = aggregate_profiles(profile_recording(recording))
+        return result, profile
+
+
+def run_evaluation_with_profiles(
+    config: EvaluationConfig,
+) -> Tuple[List[TrialRecord], CampaignProfile]:
+    """The quality sweep plus a campaign-level causal profile.
+
+    Every cell's sflow runs are flight-recorded in memory and reduced to
+    critical-path aggregates (:mod:`repro.obs.causal`); cells fold in
+    submission order, so the returned :class:`CampaignProfile` is
+    bit-identical between ``workers=0`` and any pool size.  Trial records
+    are unchanged from :func:`run_evaluation` -- tracing stamps message
+    ids but never alters protocol behaviour.
+    """
+    payloads = [
+        (config, size, trial)
+        for size in config.network_sizes
+        for trial in range(config.trials)
+    ]
+    cell_results, _ = map_cells_with_metrics(
+        _ProfiledCell(_evaluate_cell), payloads, config.workers
+    )
+    records: List[TrialRecord] = []
+    campaign = CampaignProfile()
+    for cell_records, profile in cell_results:
+        records.extend(cell_records)
+        merge_campaigns(campaign, profile)
+    return records, campaign
 
 
 def run_evaluation(config: EvaluationConfig) -> List[TrialRecord]:

@@ -46,7 +46,18 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Union
 
-from repro.obs import export, metrics, slo, timeseries, trace
+from repro.obs import causal, export, metrics, slo, timeseries, trace
+from repro.obs.causal import (
+    CampaignProfile,
+    CriticalStep,
+    ProfileDiff,
+    SessionProfile,
+    aggregate_profiles,
+    diff_recordings,
+    merge_campaigns,
+    profile_recording,
+    profile_session,
+)
 from repro.obs.clock import PERF_CLOCK, Lap, Stopwatch
 from repro.obs.export import chrome_trace, prometheus_exposition
 from repro.obs.metrics import (
@@ -61,15 +72,19 @@ from repro.obs.timeseries import Series, SeriesSampler, merge_banks
 from repro.obs.trace import NULL_SPAN, SimClock, Span, Tracer, tracer
 
 __all__ = [
+    "CampaignProfile",
+    "CriticalStep",
     "DEFAULT_SLOS",
     "Lap",
     "MetricsRegistry",
     "NULL_SPAN",
     "PERF_CLOCK",
+    "ProfileDiff",
     "Recorder",
     "Recording",
     "Series",
     "SeriesSampler",
+    "SessionProfile",
     "SimClock",
     "SloEngine",
     "SloSpec",
@@ -78,13 +93,19 @@ __all__ = [
     "Stopwatch",
     "Tracer",
     "active_recorder",
+    "aggregate_profiles",
+    "causal",
     "chrome_trace",
+    "diff_recordings",
     "diff_snapshots",
     "export",
     "load_recording",
     "merge_banks",
+    "merge_campaigns",
     "merge_snapshots",
     "metrics",
+    "profile_recording",
+    "profile_session",
     "prometheus_exposition",
     "recording",
     "registry",

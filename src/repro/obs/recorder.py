@@ -186,37 +186,47 @@ def load_recording(path: Union[str, Path]) -> Recording:
     Both ``/1`` and ``/2`` recordings load; ``/1`` just has no
     series/slo sections.
     """
-    recording = Recording()
     with Path(path).open("r", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                recording.errors.append((lineno, f"malformed JSON: {exc}"))
-                continue
-            if not isinstance(record, dict):
-                recording.errors.append((lineno, "record is not an object"))
-                continue
-            kind = record.get("type")
-            if kind == "meta":
-                recording.meta = record
-            elif kind == "span":
-                recording.spans.append(record)
-            elif kind == "event":
-                recording.events.append(record)
-            elif kind == "series":
-                from repro.obs.timeseries import merge_banks
+        return parse_recording(fh)
 
-                recording.series = merge_banks(
-                    recording.series, record.get("series", {})
-                )
-            elif kind == "slo":
-                recording.slo = record
-            elif kind == "metrics":
-                recording.metrics = record.get("snapshot", {})
-            elif kind == "summary":
-                recording.summary = record
+
+def parse_recording(lines: Any) -> Recording:
+    """:func:`load_recording` over any iterable of JSONL lines.
+
+    Useful for in-memory recordings (a :class:`Recorder` writing to a
+    ``StringIO``) -- e.g. the evaluation sweep profiling cells without
+    touching disk.
+    """
+    recording = Recording()
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            recording.errors.append((lineno, f"malformed JSON: {exc}"))
+            continue
+        if not isinstance(record, dict):
+            recording.errors.append((lineno, "record is not an object"))
+            continue
+        kind = record.get("type")
+        if kind == "meta":
+            recording.meta = record
+        elif kind == "span":
+            recording.spans.append(record)
+        elif kind == "event":
+            recording.events.append(record)
+        elif kind == "series":
+            from repro.obs.timeseries import merge_banks
+
+            recording.series = merge_banks(
+                recording.series, record.get("series", {})
+            )
+        elif kind == "slo":
+            recording.slo = record
+        elif kind == "metrics":
+            recording.metrics = record.get("snapshot", {})
+        elif kind == "summary":
+            recording.summary = record
     return recording

@@ -34,6 +34,7 @@ from typing import Any, Callable, Deque, Dict, Hashable, Optional, Set, Tuple
 
 from repro.errors import SimulationError
 from repro.obs import metrics as obs_metrics
+from repro.obs.trace import NULL_SPAN
 from repro.sim.engine import Environment, Event
 
 Address = Hashable
@@ -104,13 +105,20 @@ NO_EFFECT = ChannelEffect()
 
 @dataclass(frozen=True)
 class Envelope:
-    """A message in flight: sender, receiver, payload and bookkeeping."""
+    """A message in flight: sender, receiver, payload and bookkeeping.
+
+    ``mid`` is the network-level causal message id stamped on
+    ``channel.send`` / ``channel.deliver`` trace events; it is 0 (and no
+    events are emitted) unless a trace span is attached to the network,
+    so untraced runs pay nothing and stay bit-identical.
+    """
 
     src: Address
     dst: Address
     payload: Any
     sent_at: float
     size: int = 1
+    mid: int = 0
 
     def __post_init__(self) -> None:
         if self.size < 0:
@@ -218,7 +226,20 @@ class MessageNetwork:
         self._mailboxes: Dict[Address, Mailbox] = {}
         self._crashed: Set[Address] = set()
         self._gray_model: Optional[GrayModelFn] = None
+        self._trace_span = NULL_SPAN
+        self._next_mid = 0
         self.stats = NetworkStats()
+
+    def set_trace_span(self, span: Any) -> None:
+        """Attach the span that owns causal ``channel.*`` events.
+
+        While an enabled span is attached, every accepted send gets a
+        monotonically increasing ``mid`` and emits a ``channel.send``
+        event; each arrival emits a matching ``channel.deliver``.  Pass
+        ``None`` (or ``NULL_SPAN``) to detach; the disabled path is one
+        attribute load + bool test per send.
+        """
+        self._trace_span = NULL_SPAN if span is None else span
 
     def install_gray(self, model: Optional[GrayModelFn]) -> None:
         """Attach (or clear, with ``None``) the gray-failure model.
@@ -289,7 +310,12 @@ class MessageNetwork:
         Returns the envelope, or ``None`` when the destination is missing
         and the network drops unroutable traffic.
         """
-        envelope = Envelope(src, dst, payload, sent_at=self.env.now, size=size)
+        span = self._trace_span
+        mid = 0
+        if span.enabled:
+            self._next_mid += 1
+            mid = self._next_mid
+        envelope = Envelope(src, dst, payload, sent_at=self.env.now, size=size, mid=mid)
         box = self._mailboxes.get(dst)
         if box is None:
             if self._drop_unroutable:
@@ -297,6 +323,18 @@ class MessageNetwork:
                 _M_DROPPED.inc()
                 return None
             raise SimulationError(f"cannot deliver to unregistered address {dst!r}")
+        if mid:
+            # Causal stamp: a send without a matching deliver is a message
+            # the network ate (loss / crash / partition) -- the profiler
+            # reads that asymmetry directly.
+            span.event(
+                "channel.send",
+                msg_id=mid,
+                src=str(src),
+                dst=str(dst),
+                size=size,
+                cls=type(payload).__name__,
+            )
         if latency is None:
             latency = self._latency_fn(src, dst, envelope) if self._latency_fn else 0.0
         if latency < 0:
@@ -360,6 +398,14 @@ class MessageNetwork:
             self.stats.crash_dropped += 1
             _M_CRASH_DROPPED.inc()
             return
+        span = self._trace_span
+        if envelope.mid and span.enabled:
+            span.event(
+                "channel.deliver",
+                msg_id=envelope.mid,
+                src=str(envelope.src),
+                dst=str(envelope.dst),
+            )
         box.put(envelope)
 
     def reset_stats(self) -> None:

@@ -221,7 +221,7 @@ class Process(Event):
             _M_HANDLER_ERRORS.inc(kind=type(exc).__name__)
             trace = obs_tracer()
             if trace.enabled:
-                trace.event(
+                trace.event(  # sflow: noqa[SFL012] -- the DES kernel cannot know the protocol's span; this diagnostic must fire even with no session open
                     "engine.handler_error",
                     clock=SimClock(self.env),
                     process=getattr(self._generator, "__name__", "process"),

@@ -35,6 +35,8 @@ SFL008   mutable default arguments
 SFL009   unbounded retry loops: ``while True`` send+wait without escape
 SFL010   ambient numpy randomness in sim/core/routing/eval
 SFL011   span lifecycle: tracer spans must be ``with``-managed or ended
+SFL012   orphan events: ``tracer().event()`` outside any span breaks
+         causal reconstruction
 =======  ==================================================================
 
 Suppression: append ``# sflow: noqa[SFL00X] -- justification`` to the
@@ -1003,6 +1005,90 @@ class SpanLifecycle(Rule):
 
 
 # ---------------------------------------------------------------------------
+# SFL012 -- orphan point events
+# ---------------------------------------------------------------------------
+
+#: Dotted resolutions of the process-tracer factory.
+_TRACER_FACTORIES: Set[str] = {
+    "repro.obs.trace.tracer",
+    "repro.obs.tracer",
+    "tracer",
+}
+
+
+class OrphanEvent(Rule):
+    """Point events must be emitted inside an active span.
+
+    ``tracer().event(...)`` writes an event with ``trace=None`` and
+    ``span=None`` -- invisible to per-session timelines and, worse, to the
+    causal profiler (:mod:`repro.obs.causal`), which joins events to
+    sessions by trace id.  Protocol and service code should emit through
+    the enclosing span (``span.event(...)``); genuinely span-less
+    diagnostics (the DES kernel's handler-error event, the analytic
+    stream sweep) carry a justified suppression instead.
+    """
+
+    code = "SFL012"
+    summary = "free-standing tracer().event(); orphan events break causal joins"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # The obs layer itself legitimately emits span-less plumbing
+        # events (SLO alert edges, replay); everything above it must not.
+        return ctx.in_package("repro") and not ctx.in_package("repro.obs")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        tracer_locals = self._tracer_locals(ctx)
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "event"
+            ):
+                continue
+            receiver = node.func.value
+            if isinstance(receiver, ast.Call):
+                if self._is_tracer_factory(ctx, receiver):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        "tracer().event(...) emits an orphan event (trace=None, "
+                        "span=None) that the causal profiler cannot join to any "
+                        "session; emit through the active span "
+                        "(span.event(...)) or justify with a noqa",
+                    )
+            elif (
+                isinstance(receiver, ast.Name)
+                and receiver.id in tracer_locals
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{receiver.id}.event(...) on a bare tracer emits an orphan "
+                    "event (trace=None, span=None) invisible to causal "
+                    "reconstruction; emit through the active span or justify "
+                    "with a noqa",
+                )
+
+    def _is_tracer_factory(self, ctx: FileContext, call: ast.Call) -> bool:
+        name = ctx.qualified_call_name(call.func)
+        return name in _TRACER_FACTORIES
+
+    def _tracer_locals(self, ctx: FileContext) -> Set[str]:
+        """Names bound directly to ``tracer()`` anywhere in the file."""
+        names: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Call)
+                and self._is_tracer_factory(ctx, node.value)
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        return names
+
+
+# ---------------------------------------------------------------------------
 # registry / engine
 # ---------------------------------------------------------------------------
 
@@ -1018,6 +1104,7 @@ RULES: Tuple[Rule, ...] = (
     UnboundedRetry(),
     AmbientNumpyRandomness(),
     SpanLifecycle(),
+    OrphanEvent(),
 )
 
 

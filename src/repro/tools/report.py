@@ -35,6 +35,7 @@ import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.obs.causal import aggregate_profiles, profile_recording
 from repro.obs.recorder import Recording
 from repro.obs.slo import DEFAULT_SLOS, SloSpec, replay as slo_replay
 from repro.tools.trace import _load_checked
@@ -132,12 +133,27 @@ def build_report(
     else:
         results = []
         source = "none"
+    campaign = aggregate_profiles(profile_recording(recording))
+    critical_path: Dict[str, Any] = {
+        "sessions": campaign.sessions,
+        "mean_path_duration": campaign.mean_path_duration,
+        "kind_blame": {
+            kind: total
+            for kind, (_count, total) in sorted(campaign.kind_blame.items())
+        },
+        "top_links": [
+            {"src": src, "dst": dst, "total": total}
+            for src, dst, total in campaign.top_links(top_k)
+        ],
+        "undelivered": campaign.undelivered,
+    }
     return {
         "format": recording.meta.get("format", "unknown"),
         "source": source,
         "slo": results,
         "alerts": _alert_timeline(recording, replay_alerts),
         "spans": _span_profile(recording, top_k),
+        "critical_path": critical_path,
         "series_count": len(recording.series),
     }
 
@@ -201,6 +217,31 @@ def render_report(report: Dict[str, Any]) -> str:
                 f"  {row['name']:<28} {row['count']:>6} "
                 f"{row['sim_time']:>12g} {row['wall_seconds']:>10.4f}"
             )
+    critical = report.get("critical_path") or {}
+    lines.append("")
+    lines.append("critical path (causal profile):")
+    if not critical.get("sessions"):
+        lines.append("  (no causally-stamped sessions in recording)")
+    else:
+        lines.append(
+            f"  sessions: {critical['sessions']}   "
+            f"mean path: {critical['mean_path_duration']:g}   "
+            f"undelivered: {critical.get('undelivered', 0)}"
+        )
+        blame = critical.get("kind_blame") or {}
+        if blame:
+            parts = [
+                f"{kind}={_fmt(total)}" for kind, total in blame.items()
+            ]
+            lines.append("  blame by kind: " + " ".join(parts))
+        for row in critical.get("top_links") or []:
+            lines.append(
+                f"  hot link {row['total']:>10g}  "
+                f"{row['src']} -> {row['dst']}"
+            )
+        lines.append(
+            "  (full blame/slack tables: sflow-profile <recording>)"
+        )
     return "\n".join(lines)
 
 

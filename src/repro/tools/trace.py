@@ -153,7 +153,8 @@ def render(
     lines.append(
         f"sessions: {len(recording.sessions())}   "
         f"spans: {summary.get('spans', len(recording.spans))}   "
-        f"events: {summary.get('events', len(recording.events))}"
+        f"events: {summary.get('events', len(recording.events))}   "
+        f"malformed-lines: {len(recording.errors)}"
     )
     if not metrics_only:
         for ordinal, row in enumerate(recording.sessions(), start=1):

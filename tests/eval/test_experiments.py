@@ -315,3 +315,54 @@ class TestSweepTelemetry:
 
         with pytest.raises(ValueError):
             EvaluationConfig(slos=tuple(DEFAULT_SLOS))
+
+
+class TestSweepProfiles:
+    """Campaign causal profiles fold identically across the worker split."""
+
+    CONFIG = EvaluationConfig(
+        network_sizes=(10,), trials=3, n_services=4, seed=3
+    )
+
+    def test_parallel_campaign_profile_is_bit_identical_to_serial(self):
+        from dataclasses import replace as dc_replace
+
+        from repro.eval.experiments import run_evaluation_with_profiles
+
+        serial_records, serial = run_evaluation_with_profiles(self.CONFIG)
+        parallel_records, parallel = run_evaluation_with_profiles(
+            dc_replace(self.CONFIG, workers=2)
+        )
+        # One traced session per sflow run (the baselines are untraced).
+        sflow = [r for r in serial_records if r.algorithm == "sflow"]
+        assert serial.sessions == len(sflow) > 0
+        assert serial.mean_path_duration > 0
+        # CampaignProfile carries only floats summed in submission order --
+        # no trace ids, no wall-clock -- so the whole dict matches exactly.
+        assert parallel.as_dict() == serial.as_dict()
+
+    def test_profiled_sweep_keeps_trial_records_unchanged(self):
+        from repro.eval.experiments import run_evaluation, run_evaluation_with_profiles
+
+        plain = run_evaluation(self.CONFIG)
+        profiled, campaign = run_evaluation_with_profiles(self.CONFIG)
+        assert [(r.algorithm, r.latency, r.convergence_time) for r in profiled] == [
+            (r.algorithm, r.latency, r.convergence_time) for r in plain
+        ]
+        # The critical path *is* the convergence time, session by session.
+        assert campaign.path_duration_total == pytest.approx(
+            sum(r.convergence_time for r in plain if r.algorithm == "sflow")
+        )
+
+    def test_profiling_restores_an_outer_recording_sink(self):
+        import io
+
+        import repro.obs as obs
+        from repro.eval.experiments import run_evaluation_with_profiles
+        from repro.obs.trace import tracer as obs_tracer
+
+        sink = io.StringIO()
+        with obs.recording(sink):
+            outer = obs_tracer().sink
+            run_evaluation_with_profiles(self.CONFIG)
+            assert obs_tracer().sink is outer  # shadowed, never closed

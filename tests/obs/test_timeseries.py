@@ -189,6 +189,28 @@ class TestMergeBanks:
         right = merge_banks(banks[0], merge_banks(banks[1], banks[2]))
         assert left == right
 
+    def test_float_histogram_sums_depend_on_fold_order(self):
+        """The docstring's caveat, pinned: histogram ``sum`` columns are
+        plain float adds, so a *fixed* fold order is bit-reproducible
+        (same fold twice -> identical banks) while *different* orders can
+        disagree in the last ulp.  This is exactly why the campaign merge
+        folds worker banks in submission order, never completion order.
+        """
+
+        def bank(total):
+            hist = Series("h", "histogram", bounds=(10.0,))
+            hist.append((1.0, 1, total, [1, 0]))
+            return {hist.key: hist.as_dict()}
+
+        banks = [bank(1e16), bank(1.0), bank(1.0)]
+        left = merge_banks(merge_banks(banks[0], banks[1]), banks[2])
+        replay = merge_banks(merge_banks(banks[0], banks[1]), banks[2])
+        assert left == replay  # fixed order: bit-identical
+        right = merge_banks(banks[0], merge_banks(banks[1], banks[2]))
+        # (1e16 + 1) + 1 rounds both adds away; 1e16 + (1 + 1) keeps them.
+        assert left["h|"]["points"][0][2] == 1e16
+        assert right["h|"]["points"][0][2] == 1e16 + 2.0  # sflow: noqa[SFL007] -- the last-ulp difference IS the subject under test; both values are exactly representable
+
 
 class TestSeriesSampler:
     def test_needs_env_or_clock(self):
@@ -262,6 +284,37 @@ class TestSeriesSampler:
         counter.inc(5)
         sampler.sample()  # still the same sim time, but nothing new ticked
         assert sampler.samples == scrapes
+
+    def test_boundary_halt_guard_skips_resample_but_keeps_deltas(self):
+        """Engine halting exactly on an interval boundary: the final
+        manual sample is a no-op (the tick already scraped that instant)
+        and -- crucially -- the guard returns *before* touching the delta
+        baseline, so increments landing at the halt instant surface at
+        the next real-time scrape instead of vanishing.
+        """
+        env = Environment()
+        reg = MetricsRegistry()
+        counter = reg.counter("sflow.test.sent")
+
+        def work():
+            counter.inc()
+            yield env.timeout(2.0)  # the run's last event is the t=2 tick
+
+        sampler = SeriesSampler(env, interval=2.0, registry=reg)
+        sampler.install()
+        env.process(work())
+        env.run()
+        # The loop scraped at t=2 (the halt instant) then parked at t=4.
+        assert sampler._last_time == env.now
+        counter.inc(3)  # lands at the already-sampled instant
+        scrapes = sampler.samples
+        sampler.sample()  # guard: same clock reading -> no-op
+        assert sampler.samples == scrapes
+        env.run(until=env.now + 1.0)  # idle clock advance past the boundary
+        sampler.sample()
+        assert sampler.samples == scrapes + 1
+        series = sampler.series("sflow.test.sent")
+        assert series.points()[-1] == (env.now, 3.0)
 
     def test_observers_run_after_each_scrape(self):
         env = Environment()

@@ -381,3 +381,92 @@ class TestGrayModel:
             ChannelEffect(extra_delay=-1.0)
         with pytest.raises(SimulationError):
             ChannelEffect(duplicate_delays=(-0.5,))
+
+
+class _ListSink:
+    """Minimal record sink: collects emitted dicts."""
+
+    def __init__(self):
+        self.records = []
+
+    def emit(self, record):
+        self.records.append(record)
+
+
+class TestCausalStamping:
+    """msg_id stamping and send/deliver events for the causal profiler."""
+
+    def _traced_network(self):
+        from repro.obs.trace import SimClock, Tracer
+
+        env = Environment()
+        net = MessageNetwork(env)
+        net.register("a")
+        box = net.register("b")
+        sink = _ListSink()
+        tracer = Tracer()
+        tracer.set_sink(sink)
+        span = tracer.session("test.session", clock=SimClock(env))
+        net.set_trace_span(span)
+        return env, net, box, sink, span
+
+    def test_untraced_sends_carry_mid_zero(self):
+        env = Environment()
+        net = MessageNetwork(env)
+        net.register("a")
+        net.register("b")
+        envelope = net.send("a", "b", "x")
+        assert envelope.mid == 0
+
+    def test_traced_sends_get_monotone_mids(self):
+        env, net, box, sink, span = self._traced_network()
+        mids = [net.send("a", "b", i).mid for i in range(3)]
+        assert mids == [1, 2, 3]
+
+    def test_send_and_deliver_events_share_the_msg_id(self):
+        env, net, box, sink, span = self._traced_network()
+        net.send("a", "b", "payload", latency=2.5, size=7)
+        env.run()
+        events = [r for r in sink.records if r["type"] == "event"]
+        assert [e["name"] for e in events] == [
+            "channel.send", "channel.deliver",
+        ]
+        send, deliver = events
+        assert send["attrs"]["msg_id"] == deliver["attrs"]["msg_id"] == 1
+        assert send["attrs"]["src"] == "a" and send["attrs"]["dst"] == "b"
+        assert send["attrs"]["size"] == 7
+        assert send["attrs"]["cls"] == "str"
+        assert send["time"] == 0.0 and deliver["time"] == 2.5
+        assert send["trace"] == deliver["trace"] == span.trace_id
+
+    def test_lost_message_records_send_but_no_deliver(self):
+        env, net, box, sink, span = self._traced_network()
+        net.install_gray(
+            lambda s, d, e, now, lat: ChannelEffect(drop=True)
+        )
+        net.send("a", "b", "doomed")
+        env.run()
+        names = [r["name"] for r in sink.records if r["type"] == "event"]
+        assert names == ["channel.send"]
+
+    def test_detaching_the_span_stops_stamping(self):
+        env, net, box, sink, span = self._traced_network()
+        net.set_trace_span(None)
+        envelope = net.send("a", "b", "x")
+        env.run()
+        assert envelope.mid == 0
+        assert [r for r in sink.records if r["type"] == "event"] == []
+
+    def test_duplicated_delivery_emits_one_deliver_per_copy(self):
+        env, net, box, sink, span = self._traced_network()
+        net.install_gray(
+            lambda s, d, e, now, lat: ChannelEffect(duplicate_delays=(2.0,))
+        )
+        net.send("a", "b", "x", latency=1.0)
+        env.run()
+        delivers = [
+            r for r in sink.records
+            if r["type"] == "event" and r["name"] == "channel.deliver"
+        ]
+        assert len(delivers) == 2
+        assert {d["attrs"]["msg_id"] for d in delivers} == {1}

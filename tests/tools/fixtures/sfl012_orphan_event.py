@@ -1,0 +1,23 @@
+# sflow: module=repro.services.fixture
+"""Seeded fixture: SFL012 fires on span-less point events only."""
+
+from repro.obs.trace import tracer as obs_tracer
+
+
+def bad_factory_chain(units):
+    obs_tracer().event("dataflow.stream", units=units)  # SFL012 -- orphan
+
+
+def bad_local_alias(kind):
+    trace = obs_tracer()
+    if trace.enabled:
+        trace.event("engine.handler_error", kind=kind)  # SFL012 -- orphan
+
+
+def ok_span_event(span):
+    span.event("node.activate", instance="s0/1")
+
+
+def ok_session_scoped(units):
+    with obs_tracer().session("demo") as span:
+        span.event("dataflow.stream", units=units)

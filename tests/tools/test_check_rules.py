@@ -114,6 +114,23 @@ def test_sfl011_fixture_fires_on_leaked_spans_only():
     assert [v.line for v in violations] == [6, 11, 17]
 
 
+def test_sfl012_fixture_fires_on_orphan_events_only():
+    violations = check_file(FIXTURES / "sfl012_orphan_event.py")
+    assert codes_in(violations) == ["SFL012"] * 2
+    assert [v.line for v in violations] == [8, 14]
+
+
+def test_sfl012_obs_layer_is_exempt():
+    source = (
+        "from repro.obs.trace import tracer\n"
+        "def alert():\n"
+        "    tracer().event('slo.alert')\n"
+    )
+    assert check_source(source, module="repro.obs.slo") == []
+    found = check_source(source, module="repro.core.monitor")
+    assert codes_in(found) == ["SFL012"]
+
+
 def test_suppression_fixture_waives_with_justification_only():
     violations = check_file(FIXTURES / "suppressions.py")
     # waived(): suppressed cleanly.  bare_waiver(): SFL000 (no reason) and
