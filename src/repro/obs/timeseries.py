@@ -465,7 +465,7 @@ class SeriesSampler:
             raise ValueError("sampler has no environment to install on")
         return self.env.process(self._run())
 
-    def _run(self) -> Any:
+    def _run(self) -> Any:  # sflow: noqa[SFL015] -- histogram-bounds drift mid-run is registry corruption; failing the scrape loudly is intended
         env = self.env
         while True:
             yield env.timeout(self.interval)

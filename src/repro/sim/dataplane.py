@@ -95,7 +95,7 @@ def simulate_stream_des(
             )
             deliver.succeed(delay=latency)
 
-    def service_process(sid):
+    def service_process(sid):  # sflow: noqa[SFL015] -- unit-ordering assertion is a sim invariant check; escaping loudly is the point
         delay = config.delay_for(sid)
         preds = requirement.predecessors(sid)
         succs = requirement.successors(sid)

@@ -1,0 +1,64 @@
+"""``sflow-check``: whole-program static analysis for the sFlow repo.
+
+The package grew out of a single-module per-file linter; the public API
+of that module is preserved here verbatim (``check_source``,
+``check_file``, ``check_paths``, ``main``, ``RULES``, ``rule_codes``,
+``Violation``, ``Rule``, ``FileContext``) so existing imports, the
+console script and ``python -m repro.tools.check`` keep working.  New
+surface: the whole-program engine (:mod:`.engine`), symbol/call-graph
+layers (:mod:`.symbols`, :mod:`.callgraph`), taint dataflow
+(:mod:`.dataflow`), the incremental cache (:mod:`.cache`) and SARIF /
+baseline output (:mod:`.sarif`).
+"""
+
+from __future__ import annotations
+
+from repro.tools.check.base import (
+    DEFAULT_EXCLUDES,
+    FileContext,
+    ProjectRule,
+    Rule,
+    Violation,
+    module_for,
+    parse_suppressions,
+)
+from repro.tools.check.engine import (
+    CheckResult,
+    analyze_file_payload,
+    check_file,
+    check_paths,
+    check_source,
+    main,
+    run_project,
+)
+from repro.tools.check.rules import (
+    PROJECT_RULES,
+    RULES,
+    all_rule_codes,
+    rule_codes,
+)
+
+# Back-compat alias: the scoping helper was private in the old module and
+# is white-box imported by the rule tests.
+_module_for = module_for
+
+__all__ = [
+    "DEFAULT_EXCLUDES",
+    "FileContext",
+    "ProjectRule",
+    "Rule",
+    "Violation",
+    "RULES",
+    "PROJECT_RULES",
+    "CheckResult",
+    "all_rule_codes",
+    "analyze_file_payload",
+    "check_file",
+    "check_paths",
+    "check_source",
+    "main",
+    "module_for",
+    "parse_suppressions",
+    "rule_codes",
+    "run_project",
+]

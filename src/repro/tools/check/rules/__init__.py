@@ -1,0 +1,71 @@
+"""The ``sflow-check`` rule catalogue.
+
+Per-file rules (:data:`RULES`, SFL001-SFL012) see one
+:class:`~repro.tools.check.base.FileContext` at a time; project rules
+(:data:`PROJECT_RULES`, SFL013-SFL015) run once over the whole-program
+:class:`~repro.tools.check.dataflow.ProjectAnalysis`.  Keep both tuples
+sorted by code -- ``test_rule_codes_are_unique_and_stable`` pins the
+numbering.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.tools.check.base import ProjectRule, Rule
+from repro.tools.check.rules.determinism import (
+    AmbientNumpyRandomness,
+    InjectedRandomness,
+    SimTimePurity,
+)
+from repro.tools.check.rules.hygiene import FloatEquality, MutableDefault
+from repro.tools.check.rules.interprocedural import (
+    EscapedGraphMutation,
+    HandlerEscape,
+    TransitiveWallClock,
+)
+from repro.tools.check.rules.oracle import EpochDiscipline, OracleBypass
+from repro.tools.check.rules.robustness import SwallowedException, UnboundedRetry
+from repro.tools.check.rules.telemetry import (
+    MetricsHygiene,
+    OrphanEvent,
+    SpanLifecycle,
+)
+
+__all__ = [
+    "RULES",
+    "PROJECT_RULES",
+    "rule_codes",
+    "all_rule_codes",
+]
+
+RULES: Tuple[Rule, ...] = (
+    SimTimePurity(),
+    InjectedRandomness(),
+    OracleBypass(),
+    EpochDiscipline(),
+    MetricsHygiene(),
+    SwallowedException(),
+    FloatEquality(),
+    MutableDefault(),
+    UnboundedRetry(),
+    AmbientNumpyRandomness(),
+    SpanLifecycle(),
+    OrphanEvent(),
+)
+
+PROJECT_RULES: Tuple[ProjectRule, ...] = (
+    TransitiveWallClock(),
+    EscapedGraphMutation(),
+    HandlerEscape(),
+)
+
+
+def rule_codes() -> List[str]:
+    """Every registered rule code, per-file and project, in order."""
+    return [rule.code for rule in RULES] + [rule.code for rule in PROJECT_RULES]
+
+
+def all_rule_codes() -> List[str]:
+    """Rule codes plus the SFL000 suppression-hygiene meta code."""
+    return ["SFL000"] + rule_codes()

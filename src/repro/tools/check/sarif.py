@@ -1,0 +1,167 @@
+"""SARIF 2.1.0 output and baseline/differential support.
+
+``sflow-check --sarif`` emits a single-run SARIF log (the OASIS static
+analysis interchange format) so findings land in code-scanning UIs and
+archive cleanly as CI artifacts.  ``--baseline`` snapshots the current
+findings into a fingerprint file; ``--diff-against`` replays a snapshot
+so CI fails on *new* findings only -- pre-existing debt never blocks a
+PR, regressions always do.
+
+Fingerprints are deliberately line-number-free: ``sha256(path | code |
+message)`` with an occurrence count.  Unrelated edits that shift code
+downward do not un-baseline old findings, while a second occurrence of
+the same finding in the same file *is* new.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.tools.check.base import Violation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+BASELINE_SCHEMA = 1
+
+
+def sarif_log(
+    violations: Sequence[Violation],
+    *,
+    rule_index: Dict[str, str],
+    tool_version: str,
+    baseline_fingerprints: Iterable[str] = (),
+) -> Dict[str, object]:
+    """Render findings as a SARIF 2.1.0 log object.
+
+    ``rule_index`` maps rule code -> one-line summary (drives the
+    ``tool.driver.rules`` descriptors).  Findings whose fingerprint is in
+    ``baseline_fingerprints`` carry ``baselineState: "unchanged"``; the
+    rest are ``"new"`` (only meaningful in ``--diff-against`` runs, but
+    harmless otherwise).
+    """
+    baselined = set(baseline_fingerprints)
+    used_codes = sorted({v.code for v in violations} | set(rule_index))
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": rule_index.get(code, code)},
+            "helpUri": "https://example.invalid/sflow-check/docs/static_analysis.md",
+        }
+        for code in used_codes
+    ]
+    rule_order = {code: i for i, code in enumerate(used_codes)}
+    results: List[Dict[str, object]] = []
+    for violation in violations:
+        fingerprint = violation_fingerprint(violation)
+        results.append(
+            {
+                "ruleId": violation.code,
+                "ruleIndex": rule_order[violation.code],
+                "level": "error",
+                "message": {"text": violation.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": Path(violation.path).as_posix(),
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": violation.line,
+                                "startColumn": violation.col + 1,
+                            },
+                        }
+                    }
+                ],
+                "partialFingerprints": {"sflowCheck/v1": fingerprint},
+                "baselineState": (
+                    "unchanged" if fingerprint in baselined else "new"
+                ),
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "sflow-check",
+                        "version": tool_version,
+                        "informationUri": (
+                            "https://example.invalid/sflow-check"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+
+
+# ---------------------------------------------------------------------------
+# baselines
+# ---------------------------------------------------------------------------
+
+
+def violation_fingerprint(violation: Violation) -> str:
+    """Stable, line-number-free identity of one finding."""
+    key = "|".join(
+        (Path(violation.path).as_posix(), violation.code, violation.message)
+    )
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()
+
+
+def write_baseline(path: Path, violations: Sequence[Violation]) -> None:
+    counts = Counter(violation_fingerprint(v) for v in violations)
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "tool": "sflow-check",
+        "findings": len(violations),
+        "fingerprints": {fp: n for fp, n in sorted(counts.items())},
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"unsupported baseline schema {payload.get('schema')!r} in {path}"
+        )
+    return {str(fp): int(n) for fp, n in payload["fingerprints"].items()}
+
+
+def diff_against_baseline(
+    violations: Sequence[Violation], baseline: Dict[str, int]
+) -> Tuple[List[Violation], List[Violation]]:
+    """Split findings into (new, pre-existing) against a baseline.
+
+    Occurrence-aware: if the baseline recorded the fingerprint twice and
+    the run found it three times, one of the three is new.  Within equal
+    fingerprints the earliest occurrences (sorted order) count as the
+    pre-existing ones, so output ordering stays deterministic.
+    """
+    budget = dict(baseline)
+    new: List[Violation] = []
+    old: List[Violation] = []
+    for violation in violations:
+        fingerprint = violation_fingerprint(violation)
+        remaining = budget.get(fingerprint, 0)
+        if remaining > 0:
+            budget[fingerprint] = remaining - 1
+            old.append(violation)
+        else:
+            new.append(violation)
+    return new, old

@@ -64,7 +64,14 @@ def test_sdist_ships_py_typed(sdist: Path):
 def test_sdist_ships_the_checker(sdist: Path):
     with tarfile.open(sdist) as tar:
         names = tar.getnames()
-    assert any(n.endswith("src/repro/tools/check.py") for n in names)
+    # the checker is a package now; every analysis layer must ship
+    for module in ("engine", "symbols", "callgraph", "dataflow", "cache", "sarif"):
+        assert any(
+            n.endswith(f"src/repro/tools/check/{module}.py") for n in names
+        ), module
+    assert any(
+        n.endswith("src/repro/tools/check/rules/interprocedural.py") for n in names
+    )
 
 
 def test_wheel_ships_py_typed(tmp_path):

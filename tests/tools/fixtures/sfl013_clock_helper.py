@@ -1,0 +1,23 @@
+# sflow: module=repro.util.hostclock
+"""Seeded fixture (half 1 of the SFL013 pair): a wall-clock helper.
+
+Per-file SFL001 never fires here -- ``repro.util`` is outside the
+sim-pure packages -- so this file is clean in isolation.  Only the
+whole-program pass sees its taint reach ``repro.sim`` through the
+companion fixture ``sfl013_sim_consumer.py``.
+"""
+
+import time
+
+
+def elapsed_ms(start: float) -> float:
+    return (time.perf_counter() - start) * 1e3
+
+
+def relay_elapsed(start: float) -> float:
+    # One hop deeper: taint must survive transitive propagation.
+    return elapsed_ms(start)
+
+
+def pure_add(a: float, b: float) -> float:
+    return a + b

@@ -1,0 +1,22 @@
+# sflow: module=repro.sim.consumer
+"""Seeded fixture (half 2 of the SFL013 pair): sim code laundering a
+wall clock through a helper module.
+
+No wall-clock call appears in this file, so per-file SFL001 is clean;
+the whole-program pass resolves the calls into
+``repro.util.hostclock`` and flags the laundering (SFL013).
+"""
+
+from repro.util.hostclock import elapsed_ms, pure_add, relay_elapsed
+
+
+def record_service_time(start: float) -> float:
+    return elapsed_ms(start)  # SFL013: transitive time.perf_counter
+
+
+def record_relayed(start: float) -> float:
+    return relay_elapsed(start)  # SFL013: two hops deep
+
+
+def ok_pure(a: float, b: float) -> float:
+    return pure_add(a, b)  # clean: the helper never touches the clock

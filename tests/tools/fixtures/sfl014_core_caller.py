@@ -1,0 +1,24 @@
+# sflow: module=repro.core.planner
+"""Seeded fixture (half 2 of the SFL014 pair): core code passing a
+pre-existing graph into a mutating helper.
+
+This file never mutates a graph directly, so per-file SFL004 is clean;
+the whole-program pass matches the argument to the mutated parameter of
+``repro.network.overlay.rewire`` and flags the escape (SFL014).
+"""
+
+from repro.network.overlay import OverlayGraph, rewire, rewire_invalidated
+
+
+def bad_escape(overlay, a, b, quality):
+    rewire(overlay, a, b, quality)  # SFL014: callee mutates, nobody invalidates
+
+
+def ok_fresh(a, b, quality):
+    built = OverlayGraph()
+    rewire(built, a, b, quality)  # clean: initialising a fresh local graph
+    return built
+
+
+def ok_invalidated(oracle, overlay, a, b, quality):
+    rewire_invalidated(oracle, overlay, a, b, quality)  # clean: callee invalidates

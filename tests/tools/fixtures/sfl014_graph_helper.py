@@ -1,0 +1,17 @@
+# sflow: module=repro.network.overlay
+"""Seeded fixture (half 1 of the SFL014 pair): a mutating helper inside
+a graph-defining module.
+
+Per-file SFL004 exempts graph-defining modules outright, so this file is
+clean in isolation; the escape is only visible to the whole-program
+pass when a caller hands it a pre-existing graph.
+"""
+
+
+def rewire(graph, a, b, quality):
+    graph.add_link(a, b, quality)
+
+
+def rewire_invalidated(oracle, graph, a, b, quality):
+    graph.add_link(a, b, quality)
+    oracle.invalidate(graph)

@@ -1,0 +1,17 @@
+# sflow: module=repro.core.faultlib
+"""Seeded fixture (half 1 of the SFL015 pair): a deep raising helper.
+
+Raising here is fine per-file (no rule forbids raises); the hazard only
+exists once a DES process handler in the companion fixture can reach
+this raise with no intervening ``try``.
+"""
+
+
+def check_pressure(level: int) -> int:
+    if level < 0:
+        raise RuntimeError("negative pressure")
+    return level
+
+
+def audit(level: int) -> int:
+    return check_pressure(level)

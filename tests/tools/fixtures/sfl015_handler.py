@@ -1,0 +1,34 @@
+# sflow: module=repro.core.pump
+"""Seeded fixture (half 2 of the SFL015 pair): a DES process handler
+whose call chain can raise.
+
+``_pump`` contains no ``raise`` of its own, so every per-file rule is
+clean; the whole-program pass follows ``_pump -> audit ->
+check_pressure`` into the companion fixture and flags the handler
+(SFL015).  ``_drain`` shows the sanctioned shape: the risky call sits
+under a ``try`` inside the handler.
+"""
+
+from repro.core.faultlib import audit
+
+
+class Pump:
+    def __init__(self, env):
+        self.env = env
+
+    def install(self):
+        self.env.process(self._pump())
+        self.env.process(self._drain())
+
+    def _pump(self):  # SFL015: audit() can raise, nothing catches it here
+        while True:
+            yield self.env.timeout(1.0)
+            audit(-1)
+
+    def _drain(self):  # clean: the risky call is shielded
+        while True:
+            yield self.env.timeout(1.0)
+            try:
+                audit(-1)
+            except RuntimeError:
+                return

@@ -1,0 +1,316 @@
+"""Whole-program engine tests: golden bit-identity across the package
+refactor, cross-module rules the per-file pass provably misses,
+incremental-cache correctness, parallel determinism, SARIF/baselines.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.tools.check import (
+    Violation,
+    check_file,
+    check_paths,
+    run_project,
+)
+from repro.tools.check import sarif as sarif_mod
+
+FIXTURES = Path(__file__).parent / "fixtures"
+GOLDEN = Path(__file__).parent / "golden" / "sfl_intrafile_findings.json"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+PAIRS = {
+    "SFL013": ("sfl013_clock_helper.py", "sfl013_sim_consumer.py"),
+    "SFL014": ("sfl014_graph_helper.py", "sfl014_core_caller.py"),
+    "SFL015": ("sfl015_fault_helper.py", "sfl015_handler.py"),
+}
+
+
+def codes_in(violations):
+    return [v.code for v in violations]
+
+
+def run_pair(code, **kwargs):
+    helper, consumer = PAIRS[code]
+    return run_project([FIXTURES / helper, FIXTURES / consumer], **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# golden bit-identity: the package refactor must not move a single finding
+# ---------------------------------------------------------------------------
+
+
+def _repo_relative(finding):
+    out = dict(finding)
+    path = Path(out["path"])
+    if path.is_absolute():
+        out["path"] = path.relative_to(REPO_ROOT).as_posix()
+    return out
+
+
+def test_golden_fixture_findings_are_bit_identical():
+    golden = json.loads(GOLDEN.read_text(encoding="utf-8"))
+    for name, expected in golden.items():
+        if name == "__repo_src_tests__":
+            continue
+        actual = [_repo_relative(v.as_dict()) for v in check_file(FIXTURES / name)]
+        assert actual == expected, f"per-file findings moved for {name}"
+
+
+def test_golden_repo_gate_still_clean():
+    golden = json.loads(GOLDEN.read_text(encoding="utf-8"))
+    violations, errors = check_paths([REPO_ROOT / "src", REPO_ROOT / "tests"])
+    assert errors == []
+    # The golden capture predates the whole-program rules; the repo must
+    # be clean under the old set bit-for-bit *and* under SFL013-SFL015.
+    assert [v.as_dict() for v in violations] == golden["__repo_src_tests__"] == []
+
+
+# ---------------------------------------------------------------------------
+# SFL013-SFL015: cross-module hazards the per-file pass cannot see
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("code", sorted(PAIRS))
+def test_per_file_scan_is_provably_blind_on_the_pair(code):
+    for name in PAIRS[code]:
+        assert check_file(FIXTURES / name) == [], (
+            f"{name} must be clean per-file; only the project pass may flag it"
+        )
+
+
+def test_sfl013_transitive_wall_clock_fires_in_sim_consumer():
+    result = run_pair("SFL013")
+    assert codes_in(result.violations) == ["SFL013", "SFL013"]
+    direct, relayed = result.violations
+    assert direct.path.endswith("sfl013_sim_consumer.py")
+    assert "time.perf_counter" in direct.message
+    assert "repro.util.hostclock.elapsed_ms" in direct.message
+    # the two-hop laundering names the full chain
+    assert "relay_elapsed -> repro.util.hostclock.elapsed_ms" in relayed.message
+
+
+def test_sfl014_escape_fires_at_the_caller_only_for_preexisting_graphs():
+    result = run_pair("SFL014")
+    assert codes_in(result.violations) == ["SFL014"]
+    finding = result.violations[0]
+    assert finding.path.endswith("sfl014_core_caller.py")
+    assert "repro.network.overlay.rewire" in finding.message
+    assert "add_link" in finding.message
+
+
+def test_sfl015_handler_escape_names_spawner_and_chain():
+    result = run_pair("SFL015")
+    assert codes_in(result.violations) == ["SFL015"]
+    finding = result.violations[0]
+    assert finding.path.endswith("sfl015_handler.py")
+    assert "_pump" in finding.message
+    assert "Pump.install" in finding.message
+    assert "repro.core.faultlib.check_pressure" in finding.message
+
+
+def test_no_project_flag_suppresses_cross_module_rules():
+    helper, consumer = PAIRS["SFL013"]
+    result = run_project(
+        [FIXTURES / helper, FIXTURES / consumer], project=False
+    )
+    assert result.violations == []
+
+
+def test_project_rule_respects_noqa_on_the_reported_line(tmp_path):
+    helper = tmp_path / "helper.py"
+    helper.write_text(
+        "# sflow: module=repro.util.clockish\n"
+        "import time\n\n\n"
+        "def stamp():\n"
+        "    return time.perf_counter()\n",
+        encoding="utf-8",
+    )
+    consumer = tmp_path / "consumer.py"
+    consumer.write_text(
+        "# sflow: module=repro.sim.thing\n"
+        "from repro.util.clockish import stamp\n\n\n"
+        "def run():\n"
+        "    return stamp()  # sflow: noqa[SFL013] -- test-only waiver\n",
+        encoding="utf-8",
+    )
+    result = run_project([helper, consumer])
+    assert result.violations == []
+    consumer.write_text(
+        consumer.read_text(encoding="utf-8").replace(
+            "  # sflow: noqa[SFL013] -- test-only waiver", ""
+        ),
+        encoding="utf-8",
+    )
+    result = run_project([helper, consumer])
+    assert codes_in(result.violations) == ["SFL013"]
+
+
+# ---------------------------------------------------------------------------
+# incremental cache: warm == cold, bit for bit
+# ---------------------------------------------------------------------------
+
+
+def _copy_pair(tmp_path, code):
+    copies = []
+    for name in PAIRS[code]:
+        dst = tmp_path / name
+        shutil.copy(FIXTURES / name, dst)
+        copies.append(dst)
+    return copies
+
+
+def test_warm_run_is_bit_identical_and_all_hits(tmp_path):
+    files = _copy_pair(tmp_path, "SFL013")
+    cache_dir = tmp_path / ".cache"
+    cold = run_project(files, cache_dir=cache_dir)
+    assert cold.stats.misses == len(files) and cold.stats.hits == 0
+    warm = run_project(files, cache_dir=cache_dir)
+    assert warm.stats.hits == len(files) and warm.stats.misses == 0
+    assert [v.as_dict() for v in warm.violations] == [
+        v.as_dict() for v in cold.violations
+    ]
+
+
+def test_edit_invalidates_only_the_changed_module_but_closure_covers_importers(
+    tmp_path,
+):
+    helper, consumer = _copy_pair(tmp_path, "SFL013")
+    cache_dir = tmp_path / ".cache"
+    run_project([helper, consumer], cache_dir=cache_dir)
+    helper.write_text(
+        helper.read_text(encoding="utf-8") + "\n# touched\n", encoding="utf-8"
+    )
+    warm = run_project([helper, consumer], cache_dir=cache_dir)
+    assert warm.stats.misses == 1 and warm.stats.hits == 1
+    assert warm.stats.changed_modules == ["repro.util.hostclock"]
+    # the consumer imports the helper: cross-module findings for it may
+    # change, and the reverse closure records that
+    assert set(warm.stats.reverse_closure) == {
+        "repro.util.hostclock",
+        "repro.sim.consumer",
+    }
+    assert codes_in(warm.violations) == ["SFL013", "SFL013"]
+
+
+def test_suppression_comment_edit_invalidates_the_cache(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "# sflow: module=repro.sim.cachecase\n"
+        "import time\n\n\n"
+        "def stamp():\n"
+        "    return time.perf_counter()\n",
+        encoding="utf-8",
+    )
+    cache_dir = tmp_path / ".cache"
+    cold = run_project([target], cache_dir=cache_dir)
+    assert codes_in(cold.violations) == ["SFL001"]
+    # add ONLY a suppression comment: same code, new content hash
+    target.write_text(
+        target.read_text(encoding="utf-8").replace(
+            "return time.perf_counter()",
+            "return time.perf_counter()  # sflow: noqa[SFL001] -- cache test",
+        ),
+        encoding="utf-8",
+    )
+    warm = run_project([target], cache_dir=cache_dir)
+    assert warm.stats.misses == 1
+    assert warm.violations == []
+
+
+def test_cache_survives_select_and_ignore_combinations(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "# sflow: module=repro.sim.filtered\n"
+        "import time\n"
+        "import random\n\n\n"
+        "def stamp():\n"
+        "    return time.perf_counter() + random.random()\n",
+        encoding="utf-8",
+    )
+    cache_dir = tmp_path / ".cache"
+    cold = run_project([target], cache_dir=cache_dir)
+    assert codes_in(cold.violations) == ["SFL001", "SFL002"]
+    only_002 = run_project([target], cache_dir=cache_dir, select={"SFL002"})
+    assert only_002.stats.hits == 1
+    assert codes_in(only_002.violations) == ["SFL002"]
+    no_002 = run_project([target], cache_dir=cache_dir, ignore={"SFL002"})
+    assert codes_in(no_002.violations) == ["SFL001"]
+
+
+def test_parallel_fanout_matches_serial_bit_for_bit():
+    files = [FIXTURES / n for names in PAIRS.values() for n in names]
+    serial = run_project(files, jobs=1)
+    parallel = run_project(files, jobs=2)
+    assert [v.as_dict() for v in parallel.violations] == [
+        v.as_dict() for v in serial.violations
+    ]
+    assert codes_in(serial.violations) == [
+        "SFL013", "SFL013", "SFL014", "SFL015",
+    ]
+
+
+# ---------------------------------------------------------------------------
+# SARIF + baselines
+# ---------------------------------------------------------------------------
+
+
+def test_sarif_log_has_the_required_shape():
+    result = run_pair("SFL013")
+    log = sarif_mod.sarif_log(
+        result.violations,
+        rule_index={"SFL013": "transitive wall clock"},
+        tool_version="test",
+    )
+    assert log["version"] == "2.1.0"
+    assert log["$schema"].endswith("sarif-schema-2.1.0.json")
+    (run,) = log["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "sflow-check"
+    rule_ids = [r["id"] for r in driver["rules"]]
+    assert "SFL013" in rule_ids
+    assert len(run["results"]) == len(result.violations)
+    for res, violation in zip(run["results"], result.violations):
+        assert res["ruleId"] == violation.code
+        assert driver["rules"][res["ruleIndex"]]["id"] == violation.code
+        assert res["level"] == "error"
+        assert res["message"]["text"] == violation.message
+        loc = res["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == Path(violation.path).as_posix()
+        assert loc["region"]["startLine"] == violation.line
+        assert loc["region"]["startColumn"] == violation.col + 1
+        assert res["partialFingerprints"]["sflowCheck/v1"]
+        assert res["baselineState"] == "new"
+
+
+def test_baseline_roundtrip_and_occurrence_aware_diff(tmp_path):
+    result = run_pair("SFL013")
+    assert len(result.violations) == 2
+    baseline_path = tmp_path / "baseline.json"
+    sarif_mod.write_baseline(baseline_path, result.violations[:1])
+    baseline = sarif_mod.load_baseline(baseline_path)
+    new, old = sarif_mod.diff_against_baseline(result.violations, baseline)
+    assert len(old) == 1 and len(new) == 1
+    # a second occurrence of an identical fingerprint is new
+    doubled = list(result.violations[:1]) * 2
+    new2, old2 = sarif_mod.diff_against_baseline(doubled, baseline)
+    assert len(old2) == 1 and len(new2) == 1
+
+
+def test_baseline_rejects_unknown_schema(tmp_path):
+    bad = tmp_path / "baseline.json"
+    bad.write_text(json.dumps({"schema": 99, "fingerprints": {}}))
+    with pytest.raises(ValueError):
+        sarif_mod.load_baseline(bad)
+
+
+def test_fingerprints_are_line_number_free():
+    a = Violation(path="x.py", line=3, col=0, code="SFL001", message="m")
+    b = Violation(path="x.py", line=30, col=4, code="SFL001", message="m")
+    assert sarif_mod.violation_fingerprint(a) == sarif_mod.violation_fingerprint(b)
+    c = Violation(path="x.py", line=3, col=0, code="SFL002", message="m")
+    assert sarif_mod.violation_fingerprint(a) != sarif_mod.violation_fingerprint(c)

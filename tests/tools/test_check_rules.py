@@ -14,6 +14,7 @@ from pathlib import Path
 import pytest
 
 from repro.tools.check import (
+    PROJECT_RULES,
     RULES,
     check_file,
     check_paths,
@@ -42,11 +43,14 @@ def test_rule_codes_are_unique_and_stable():
     codes = rule_codes()
     assert len(codes) == len(set(codes))
     assert codes == sorted(codes)
-    assert codes == [f"SFL{n:03d}" for n in range(1, len(RULES) + 1)]
+    # per-file rules first (SFL001..), then whole-program rules (..SFL015)
+    total = len(RULES) + len(PROJECT_RULES)
+    assert codes == [f"SFL{n:03d}" for n in range(1, total + 1)]
+    assert [r.code for r in RULES] == codes[: len(RULES)]
 
 
 def test_every_rule_has_a_summary():
-    for rule in RULES:
+    for rule in (*RULES, *PROJECT_RULES):
         assert rule.summary, f"{rule.code} has no summary line"
 
 
